@@ -1,0 +1,54 @@
+// Command experiments regenerates every experiment table of EXPERIMENTS.md
+// (one function per paper table/figure; see DESIGN.md §4).
+//
+// Usage:
+//
+//	go run ./cmd/experiments            # full suite
+//	go run ./cmd/experiments -exp table2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssmst/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|distance|construction|memory|partitions|selfstab|lowerbound")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var tables []*core.Table
+	switch *exp {
+	case "all":
+		tables = core.All(*seed)
+	case "table1":
+		tables = append(tables, core.Table1([]int{16, 32, 64}, *seed))
+	case "table2":
+		tables = append(tables, core.Table2())
+	case "detection":
+		tables = append(tables, core.DetectionSync([]int{16, 32, 64, 128}, 3, *seed))
+	case "detectionasync":
+		tables = append(tables, core.DetectionAsync([]int{16, 32}, 2, *seed))
+	case "distance":
+		tables = append(tables, core.DetectionDistance(64, []int{1, 2, 4}, *seed))
+	case "construction":
+		tables = append(tables, core.Construction([]int{16, 32, 64, 128, 256}, *seed))
+	case "memory":
+		tables = append(tables, core.Memory([]int{16, 64, 256, 1024}, *seed))
+	case "partitions":
+		tables = append(tables, core.Partitions([]int{32, 128, 512}, *seed))
+	case "selfstab":
+		tables = append(tables, core.SelfStabilization([]int{16, 32}, *seed))
+	case "lowerbound":
+		tables = append(tables, core.LowerBound([]int{1, 2, 3}, *seed))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Markdown())
+	}
+}

@@ -1,0 +1,83 @@
+// Package bits provides bit-size accounting for protocol state.
+//
+// The paper's central claims are about memory measured in bits per node
+// (O(log n) for the verification scheme, versus the Ω(log² n) needed by
+// 1-time schemes). To make those claims measurable rather than asserted,
+// every protocol state struct in this repository implements the Sized
+// interface, and the helpers here compute the width of the individual
+// fields: identifiers, levels, weights, port numbers and small enums.
+package bits
+
+import "math/bits"
+
+// Sized is implemented by every protocol state so the simulation engine can
+// report the maximum number of bits any node stores at any time.
+type Sized interface {
+	// BitSize returns the number of bits needed to encode the state.
+	BitSize() int
+}
+
+// ForUint returns the number of bits required to represent v, with a minimum
+// of 1 (a zero value still occupies one bit of an encoded field).
+func ForUint(v uint64) int {
+	if v == 0 {
+		return 1
+	}
+	return bits.Len64(v)
+}
+
+// ForInt returns the number of bits required to represent v in sign-magnitude
+// form: one sign bit plus the magnitude width.
+func ForInt(v int64) int {
+	if v < 0 {
+		return 1 + ForUint(uint64(-v))
+	}
+	return 1 + ForUint(uint64(v))
+}
+
+// ForID returns the width of a node identifier field in a network whose
+// identifiers are drawn from [0, idSpace). Identifiers in the paper are
+// O(log n) bits; idSpace is polynomial in n.
+func ForID(idSpace int) int {
+	if idSpace <= 1 {
+		return 1
+	}
+	return ForUint(uint64(idSpace - 1))
+}
+
+// ForEnum returns the width of a field holding one of k distinct symbols.
+func ForEnum(k int) int {
+	if k <= 2 {
+		return 1
+	}
+	return ForUint(uint64(k - 1))
+}
+
+// ForBool is the width of a boolean flag.
+const ForBool = 1
+
+// ForString returns the width of a fixed-alphabet string of length n over an
+// alphabet of k symbols, as used by the Roots/EndP/Parents strings of §5.
+func ForString(n, k int) int {
+	return n * ForEnum(k)
+}
+
+// Max returns the largest of its arguments (0 for no arguments).
+func Max(vs ...int) int {
+	m := 0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum adds its arguments; a convenience for BitSize implementations.
+func Sum(vs ...int) int {
+	s := 0
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForUint(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 62, 63},
+	}
+	for _, c := range cases {
+		if got := ForUint(c.v); got != c.want {
+			t.Errorf("ForUint(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestForInt(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 2}, {1, 2}, {-1, 2}, {2, 3}, {-2, 3}, {127, 8}, {-128, 9},
+	}
+	for _, c := range cases {
+		if got := ForInt(c.v); got != c.want {
+			t.Errorf("ForInt(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestForEnum(t *testing.T) {
+	cases := []struct {
+		k    int
+		want int
+	}{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+	}
+	for _, c := range cases {
+		if got := ForEnum(c.k); got != c.want {
+			t.Errorf("ForEnum(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestForID(t *testing.T) {
+	if got := ForID(1); got != 1 {
+		t.Errorf("ForID(1) = %d, want 1", got)
+	}
+	if got := ForID(1024); got != 10 {
+		t.Errorf("ForID(1024) = %d, want 10", got)
+	}
+}
+
+func TestForString(t *testing.T) {
+	// Roots strings: length l+1 over {0,1,*} — 2 bits per entry.
+	if got := ForString(5, 3); got != 10 {
+		t.Errorf("ForString(5,3) = %d, want 10", got)
+	}
+	// EndP strings: 4 symbols — 2 bits per entry.
+	if got := ForString(5, 4); got != 10 {
+		t.Errorf("ForString(5,4) = %d, want 10", got)
+	}
+}
+
+func TestMaxSum(t *testing.T) {
+	if Max() != 0 || Sum() != 0 {
+		t.Fatal("empty Max/Sum should be 0")
+	}
+	if Max(3, 9, 1) != 9 {
+		t.Errorf("Max(3,9,1) = %d", Max(3, 9, 1))
+	}
+	if Sum(3, 9, 1) != 13 {
+		t.Errorf("Sum(3,9,1) = %d", Sum(3, 9, 1))
+	}
+}
+
+// Property: ForUint is monotone and ForUint(v) bits suffice: v < 2^ForUint(v).
+func TestForUintProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		n := ForUint(v)
+		if n < 1 || n > 64 {
+			return false
+		}
+		if n < 64 && v>>uint(n) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,460 @@
+// Package core orchestrates the experiment suite: every table and figure of
+// the paper maps to a function here (see DESIGN.md §4); cmd/experiments
+// prints the results and EXPERIMENTS.md records a reference run.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ssmst/internal/ghs"
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+	"ssmst/internal/labeling"
+	"ssmst/internal/lowerbound"
+	"ssmst/internal/partition"
+	"ssmst/internal/selfstab"
+	"ssmst/internal/syncmst"
+	"ssmst/internal/train"
+	"ssmst/internal/verify"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Remarks []string
+}
+
+// Markdown renders the table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(r, " | "))
+	}
+	for _, r := range t.Remarks {
+		fmt.Fprintf(&b, "\n%s\n", r)
+	}
+	return b.String()
+}
+
+// Table1 reproduces the shape of the paper's Table 1: space (measured max
+// bits/node) and stabilization time (measured rounds) of the current
+// paper's algorithm versus the 1-time-scheme baseline class, with the
+// paper-reported bounds quoted for the rows we do not re-implement.
+func Table1(sizes []int, seed int64) *Table {
+	t := &Table{
+		Title:  "Table 1 — self-stabilizing MST construction (measured)",
+		Header: []string{"algorithm", "n", "space (bits/node, measured)", "stabilization time (rounds, measured)"},
+		Remarks: []string{
+			"Paper-reported complexities for rows not re-implemented: [48]/[18]: O(log n) bits, Ω(n·|E|) time; [17]: O(log² n) bits, O(n²) time; [52]+[3]+[9]: O(|E|·n) bits, O(n²) time.",
+			"The measured rows show this paper's O(log n)/O(n) point and the KK-label memory class (log² n) used by the [17]-style approach.",
+		},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, seed+int64(n))
+		r := selfstab.NewRunner(g, n, verify.Sync, seed)
+		rounds, ok := r.RunUntilStable(r.StabilizationBudget())
+		status := fmt.Sprintf("%d", rounds)
+		if !ok {
+			status = "DNF"
+		}
+		t.Rows = append(t.Rows, []string{"this paper (selfstab)", fmt.Sprint(n),
+			fmt.Sprint(r.Eng.MaxStateBits()), status})
+
+		// KK-label memory class ([17]-style building block): measured label
+		// bits at the same n.
+		res, err := syncmst.Simulate(g)
+		if err == nil {
+			max := 0
+			for _, l := range labeling.MarkKK(res.Hierarchy) {
+				if b := l.BitSize(); b > max {
+					max = b
+				}
+			}
+			t.Rows = append(t.Rows, []string{"[17]-class labels (KK, log² n)", fmt.Sprint(n),
+				fmt.Sprint(max), "O(n²) (paper bound; detection is 1 round)"})
+		}
+	}
+	return t
+}
+
+// Table2 regenerates the paper's Table 2 from the marker on the Figure 1
+// example and reports whether it matches the paper exactly.
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table 2 — Roots/EndP/Parents/Or_EndP on the Figure 1 example",
+		Header: []string{"node", "Roots", "EndP", "Parents", "Or_EndP", "matches paper"},
+	}
+	h, err := hierarchy.ExampleHierarchy()
+	if err != nil {
+		t.Remarks = append(t.Remarks, "error: "+err.Error())
+		return t
+	}
+	ss := hierarchy.MarkStrings(h)
+	want := hierarchy.ExampleTable2()
+	for v := range ss {
+		roots, endP, parents, orEndP := hierarchy.FormatStrings(&ss[v])
+		match := roots == want[v].Roots && endP == want[v].EndP &&
+			parents == want[v].Parents && orEndP == want[v].OrEndP
+		t.Rows = append(t.Rows, []string{
+			hierarchy.ExampleNames[v], roots, endP, parents, orEndP, fmt.Sprint(match),
+		})
+	}
+	return t
+}
+
+// DetectionSync measures synchronous detection time after one fault
+// (experiment E3: the paper's O(log² n)).
+func DetectionSync(sizes []int, trials int, seed int64) *Table {
+	t := &Table{
+		Title:  "E3 — synchronous detection time after one fault (paper: O(log² n))",
+		Header: []string{"n", "λ", "median rounds", "max rounds", "budget"},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, seed+int64(n))
+		var times []int
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < trials; trial++ {
+			l, err := verify.Mark(g)
+			if err != nil {
+				continue
+			}
+			r := verify.NewRunner(l, verify.Sync, seed+int64(trial))
+			budget := verify.DetectionBudget(n)
+			r.Eng.RunSyncRounds(budget / 4)
+			node := rng.Intn(n)
+			if !r.InjectKind(node, verify.FaultStoredPieceW, rng) {
+				continue
+			}
+			if rounds, _, ok := r.RunUntilAlarm(2 * budget); ok {
+				times = append(times, rounds)
+			}
+		}
+		if len(times) == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(train.LambdaThreshold(n)),
+			fmt.Sprint(median(times)), fmt.Sprint(maxOf(times)),
+			fmt.Sprint(verify.DetectionBudget(n)),
+		})
+	}
+	return t
+}
+
+// DetectionAsync measures asynchronous detection time (experiment E4: the
+// paper's O(Δ log³ n)).
+func DetectionAsync(sizes []int, trials int, seed int64) *Table {
+	t := &Table{
+		Title:  "E4 — asynchronous detection time after one fault (paper: O(Δ·log³ n))",
+		Header: []string{"n", "Δ", "median time units", "max time units"},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, seed+int64(n))
+		rng := rand.New(rand.NewSource(seed))
+		var times []int
+		for trial := 0; trial < trials; trial++ {
+			l, err := verify.Mark(g)
+			if err != nil {
+				continue
+			}
+			r := verify.NewRunner(l, verify.Async, seed+int64(trial))
+			r.Eng.Jitter = 0.3
+			budget := verify.DetectionBudget(n)
+			for i := 0; i < budget/4; i++ {
+				r.Step()
+			}
+			if !r.InjectKind(rng.Intn(n), verify.FaultStoredPieceW, rng) {
+				continue
+			}
+			if rounds, _, ok := r.RunUntilAlarm(4 * budget); ok {
+				times = append(times, rounds)
+			}
+		}
+		if len(times) == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(g.MaxDegree()),
+			fmt.Sprint(median(times)), fmt.Sprint(maxOf(times)),
+		})
+	}
+	return t
+}
+
+// DetectionDistance measures the fault-to-alarm distance for f faults
+// (experiment E5: O(f log n)).
+func DetectionDistance(n int, fs []int, seed int64) *Table {
+	t := &Table{
+		Title:  "E5 — detection distance for f faults (paper: O(f·log n))",
+		Header: []string{"f", "max distance", "bound 4·f·λ"},
+	}
+	g := graph.RandomConnected(n, 2*n, seed)
+	lam := train.LambdaThreshold(n)
+	rng := rand.New(rand.NewSource(seed))
+	for _, f := range fs {
+		l, err := verify.Mark(g)
+		if err != nil {
+			continue
+		}
+		r := verify.NewRunner(l, verify.Sync, seed+int64(f))
+		budget := verify.DetectionBudget(n)
+		r.Eng.RunSyncRounds(budget / 4)
+		var faults []int
+		for len(faults) < f {
+			v := rng.Intn(n)
+			if r.InjectKind(v, verify.FaultStoredPieceW, rng) ||
+				r.InjectKind(v, verify.FaultRootsEntry, rng) {
+				faults = append(faults, v)
+			}
+		}
+		_, alarms, ok := r.RunUntilAlarm(2 * budget)
+		if !ok {
+			t.Rows = append(t.Rows, []string{fmt.Sprint(f), "DNF", fmt.Sprint(4 * f * lam)})
+			continue
+		}
+		worst := 0
+		for _, d := range verify.DetectionDistance(g, faults, alarms) {
+			if d > worst {
+				worst = d
+			}
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(f), fmt.Sprint(worst), fmt.Sprint(4 * f * lam)})
+	}
+	return t
+}
+
+// Construction compares SYNC_MST and GHS rounds and memory (experiment E6).
+func Construction(sizes []int, seed int64) *Table {
+	t := &Table{
+		Title:  "E6 — construction: SYNC_MST (O(n), O(log n) bits) vs GHS (O(n log n))",
+		Header: []string{"n", "SYNC_MST rounds", "GHS rounds", "SYNC_MST max bits/node (register run)"},
+		Remarks: []string{
+			"GHS rounds are fragment-level ideal time; on random graphs merges are balanced, so both grow linearly and SYNC_MST's constant 22 dominates — the O(n log n) separation is a worst-case statement.",
+		},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, seed+int64(n))
+		sres, err := syncmst.Simulate(g)
+		if err != nil {
+			continue
+		}
+		gres, err := ghs.Run(g)
+		if err != nil {
+			continue
+		}
+		bitsCol := "-"
+		if n <= 128 {
+			if _, eng, err := syncmst.RunRegister(g, seed, 400*n+500); err == nil {
+				bitsCol = fmt.Sprint(eng.MaxStateBits())
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(sres.Rounds), fmt.Sprint(gres.Rounds), bitsCol,
+		})
+	}
+	return t
+}
+
+// Memory compares the full label size of this paper's scheme (O(log n))
+// with the KK 1-time scheme (Θ(log² n)) — experiment E7.
+func Memory(sizes []int, seed int64) *Table {
+	t := &Table{
+		Title:  "E7 — label memory: this scheme (O(log n)) vs KK 1-time scheme (Θ(log² n))",
+		Header: []string{"n", "this scheme max bits", "KK max bits", "marker time (rounds)"},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, seed+int64(n))
+		l, err := verify.Mark(g)
+		if err != nil {
+			continue
+		}
+		res, err := syncmst.Simulate(g)
+		if err != nil {
+			continue
+		}
+		kk := 0
+		for _, lab := range labeling.MarkKK(res.Hierarchy) {
+			if b := lab.BitSize(); b > kk {
+				kk = b
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(l.MaxLabelBits()), fmt.Sprint(kk),
+			fmt.Sprint(l.ConstructionTime),
+		})
+	}
+	return t
+}
+
+// Partitions measures the partition invariants (experiment E9, Lemmas
+// 6.4/6.5).
+func Partitions(sizes []int, seed int64) *Table {
+	t := &Table{
+		Title:  "E9 — partition shape (Lemmas 6.4/6.5)",
+		Header: []string{"n", "λ", "top parts", "min/max top size", "max top depth", "bottom parts", "max bottom size"},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, seed+int64(n))
+		res, err := syncmst.Simulate(g)
+		if err != nil {
+			continue
+		}
+		p, err := partition.Compute(res.Hierarchy)
+		if err != nil {
+			continue
+		}
+		topMin, topMax, topDepth, topCnt := 1<<30, 0, 0, 0
+		botMax, botCnt := 0, 0
+		for i := range p.Parts {
+			pp := &p.Parts[i]
+			if pp.Kind == partition.Top {
+				topCnt++
+				if pp.Size() < topMin {
+					topMin = pp.Size()
+				}
+				if pp.Size() > topMax {
+					topMax = pp.Size()
+				}
+				if pp.Depth > topDepth {
+					topDepth = pp.Depth
+				}
+			} else {
+				botCnt++
+				if pp.Size() > botMax {
+					botMax = pp.Size()
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(p.Lambda), fmt.Sprint(topCnt),
+			fmt.Sprintf("%d/%d", topMin, topMax), fmt.Sprint(topDepth),
+			fmt.Sprint(botCnt), fmt.Sprint(botMax),
+		})
+	}
+	return t
+}
+
+// SelfStabilization measures stabilization from scratch and from arbitrary
+// states (experiment E12), plus fault recovery (E13).
+func SelfStabilization(sizes []int, seed int64) *Table {
+	t := &Table{
+		Title:  "E12/E13 — self-stabilizing MST: stabilization and recovery (paper: O(n))",
+		Header: []string{"n", "clean-start rounds", "from-arbitrary rounds", "fault recovery rounds"},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, seed+int64(n))
+		r := selfstab.NewRunner(g, n, verify.Sync, seed)
+		clean, ok := r.RunUntilStable(r.StabilizationBudget())
+		if !ok {
+			continue
+		}
+		r2 := selfstab.NewRunner(g, n, verify.Sync, seed+1)
+		r2.Scramble(rand.New(rand.NewSource(seed)))
+		arb, ok2 := r2.RunUntilStable(2 * r2.StabilizationBudget())
+		arbCol := fmt.Sprint(arb)
+		if !ok2 {
+			arbCol = "DNF"
+		}
+		rng := rand.New(rand.NewSource(seed + 2))
+		rec := "-"
+		if r.InjectLabelFault(0, rng) {
+			if rr, ok3 := r.RunUntilStable(r.StabilizationBudget()); ok3 {
+				rec = fmt.Sprint(rr)
+			}
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), fmt.Sprint(clean), arbCol, rec})
+	}
+	return t
+}
+
+// LowerBound measures the §9 tradeoff: detection time on stretched
+// instances for growing τ, and the time × memory product (experiment E8).
+func LowerBound(taus []int, seed int64) *Table {
+	t := &Table{
+		Title:  "E8 — §9 stretching: detection time vs τ at O(log n) memory",
+		Header: []string{"τ", "n'", "detection rounds", "max label bits", "time × bits"},
+		Remarks: []string{
+			"The §9 reduction: a τ-time scheme on G′ yields a 1-time scheme on G with O(τ·ℓ) labels, so time × memory = Ω(log² n).",
+		},
+	}
+	g := graph.RandomConnected(8, 12, seed)
+	rng := rand.New(rand.NewSource(seed))
+	for _, tau := range taus {
+		st, err := lowerbound.Stretch(g, tau)
+		if err != nil {
+			continue
+		}
+		l, err := verify.Mark(st.G)
+		if err != nil {
+			continue
+		}
+		r := verify.NewRunner(l, verify.Sync, seed)
+		budget := verify.DetectionBudget(st.G.N())
+		r.Eng.RunSyncRounds(budget / 4)
+		// Corrupt a used piece: detection must flow through the trains and
+		// the sampler, whose cycles lengthen with the stretched instance.
+		victim := st.PathNodes[0][tau]
+		applied := r.InjectKind(victim, verify.FaultStoredPieceW, rng)
+		for v := 0; !applied && v < st.G.N(); v++ {
+			applied = r.InjectKind(v, verify.FaultStoredPieceW, rng)
+		}
+		rounds, _, ok := r.RunUntilAlarm(2 * budget)
+		if !ok {
+			continue
+		}
+		bitsMax := l.MaxLabelBits()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(tau), fmt.Sprint(st.G.N()), fmt.Sprint(rounds),
+			fmt.Sprint(bitsMax), fmt.Sprint(rounds * bitsMax),
+		})
+	}
+	_ = rng
+	return t
+}
+
+// All runs the whole suite at the default sizes.
+func All(seed int64) []*Table {
+	return []*Table{
+		Table2(),
+		Table1([]int{16, 32, 64}, seed),
+		DetectionSync([]int{16, 32, 64, 128}, 3, seed),
+		DetectionAsync([]int{16, 32}, 2, seed),
+		DetectionDistance(64, []int{1, 2, 4}, seed),
+		Construction([]int{16, 32, 64, 128, 256}, seed),
+		Memory([]int{16, 64, 256, 1024}, seed),
+		Partitions([]int{32, 128, 512}, seed),
+		SelfStabilization([]int{16, 32}, seed),
+		LowerBound([]int{1, 2, 3}, seed),
+	}
+}
+
+func median(xs []int) int {
+	s := append([]int(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func maxOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

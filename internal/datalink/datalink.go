@@ -1,0 +1,81 @@
+// Package datalink implements the self-stabilizing data-link emulation of
+// §2.2 (after Afek–Kutten–Yung [3]): message passing over shared registers.
+// The sender publishes a value together with a three-valued "toggle"; the
+// receiver emulates the arrival of exactly one message per toggle change
+// and acknowledges by echoing the toggle. The sender may publish the next
+// message once the echo matches. Starting from arbitrary register contents,
+// after one round-trip the protocol delivers every subsequent message
+// exactly once, in order — which is what lets protocols designed for the
+// message-passing model (such as the Awerbuch–Varghese transformer the
+// paper builds on) run in the register model at constant overhead.
+package datalink
+
+import (
+	"ssmst/internal/bits"
+)
+
+// Toggle is the three-valued sequence number of [3].
+type Toggle uint8
+
+// next returns the successor toggle (mod 3).
+func (t Toggle) next() Toggle { return (t + 1) % 3 }
+
+// SenderState is the sender's register: the published payload and toggle.
+type SenderState struct {
+	Payload int64
+	Tog     Toggle
+	// queued tracks whether Payload is awaiting acknowledgement.
+	Busy bool
+}
+
+// BitSize measures the register.
+func (s *SenderState) BitSize() int { return bits.ForInt(s.Payload) + 2 + 1 }
+
+// ReceiverState is the receiver's register: the echoed toggle.
+type ReceiverState struct {
+	Echo Toggle
+	// Last is the most recently delivered payload (the emulated "arrival").
+	Last int64
+}
+
+// BitSize measures the register.
+func (r *ReceiverState) BitSize() int { return 2 + bits.ForInt(r.Last) }
+
+// Link is one directed self-stabilizing link.
+type Link struct {
+	S SenderState
+	R ReceiverState
+}
+
+// Send queues a message; it reports false while the previous message is
+// still unacknowledged (the caller retries, as a message-passing sender
+// blocked on a full link would).
+func (l *Link) Send(payload int64) bool {
+	if l.S.Busy {
+		return false
+	}
+	l.S.Payload = payload
+	l.S.Tog = l.S.Tog.next()
+	l.S.Busy = true
+	return true
+}
+
+// StepReceiver executes one receiver activation: it reads the sender's
+// register; a toggle change delivers the payload exactly once. It returns
+// the delivered payload and whether a delivery happened.
+func (l *Link) StepReceiver() (int64, bool) {
+	if l.R.Echo == l.S.Tog {
+		return 0, false
+	}
+	l.R.Echo = l.S.Tog
+	l.R.Last = l.S.Payload
+	return l.S.Payload, true
+}
+
+// StepSender executes one sender activation: it reads the receiver's echo
+// and frees the link when acknowledged.
+func (l *Link) StepSender() {
+	if l.S.Busy && l.R.Echo == l.S.Tog {
+		l.S.Busy = false
+	}
+}

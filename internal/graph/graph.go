@@ -1,0 +1,311 @@
+// Package graph provides the weighted-graph substrate used throughout the
+// reproduction: undirected edge-weighted graphs with unique node identities
+// and per-node port numbering (§2.1 of the paper), graph generators, a
+// reference MST oracle (Kruskal), rooted-tree utilities, and the
+// distinct-weight transform ω′ of Kor et al. used when edge weights are not
+// guaranteed distinct (footnote 1 of the paper).
+//
+// Nodes are referred to by dense indices 0..n-1 inside the simulator; each
+// node additionally carries a unique identity ID(v) of O(log n) bits, which
+// is what the distributed algorithms see. Port numbers are local to a node:
+// the port of edge (u,v) at u is independent of its port at v.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID is a node's unique identity, encoded on O(log n) bits.
+type NodeID int64
+
+// Weight is an edge weight, polynomial in n per the model of §2.1.
+type Weight int64
+
+// Half is a half-edge: the view of one edge from one endpoint.
+type Half struct {
+	Peer     int // neighbour's node index
+	PeerPort int // the port number of this edge at the peer
+	Edge     int // index into Graph.Edges
+}
+
+// Edge is an undirected weighted edge between node indices U < V.
+type Edge struct {
+	U, V int
+	W    Weight
+}
+
+// Graph is an undirected weighted graph with unique node identities and
+// per-node port numbering. The zero value is an empty graph; use New or a
+// generator to construct one.
+type Graph struct {
+	ids   []NodeID
+	idx   map[NodeID]int
+	adj   [][]Half
+	edges []Edge
+}
+
+// New creates a graph with n nodes and the given identities. If ids is nil,
+// identities 1..n are assigned (scrambled assignment is available through
+// generators). New panics if identities are not unique; generators always
+// provide unique identities.
+func New(n int, ids []NodeID) *Graph {
+	g := &Graph{
+		ids: make([]NodeID, n),
+		idx: make(map[NodeID]int, n),
+		adj: make([][]Half, n),
+	}
+	for i := 0; i < n; i++ {
+		id := NodeID(i + 1)
+		if ids != nil {
+			id = ids[i]
+		}
+		g.ids[i] = id
+		if _, dup := g.idx[id]; dup {
+			panic(fmt.Sprintf("graph: duplicate node identity %d", id))
+		}
+		g.idx[id] = i
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.ids) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// ID returns the identity of node index v.
+func (g *Graph) ID(v int) NodeID { return g.ids[v] }
+
+// IndexOf returns the node index carrying identity id, or -1.
+func (g *Graph) IndexOf(id NodeID) int {
+	if i, ok := g.idx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// MaxID returns the largest node identity, used to size identifier fields.
+func (g *Graph) MaxID() NodeID {
+	var m NodeID
+	for _, id := range g.ids {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns Δ, the maximum degree over all nodes.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Ports returns the half-edges of node v indexed by port number. The
+// returned slice is owned by the graph and must not be modified.
+func (g *Graph) Ports(v int) []Half { return g.adj[v] }
+
+// Half returns the half-edge at the given port of v.
+func (g *Graph) Half(v, port int) Half { return g.adj[v][port] }
+
+// Edges returns all edges. The slice is owned by the graph.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns edge e.
+func (g *Graph) Edge(e int) Edge { return g.edges[e] }
+
+// AddEdge inserts an undirected edge between node indices u and v with
+// weight w and returns its edge index. Self-loops and duplicate edges are
+// rejected with an error.
+func (g *Graph) AddEdge(u, v int, w Weight) (int, error) {
+	if u == v {
+		return -1, fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+		return -1, fmt.Errorf("graph: edge (%d,%d) out of range n=%d", u, v, g.N())
+	}
+	for _, h := range g.adj[u] {
+		if h.Peer == v {
+			return -1, fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	if u > v {
+		u, v = v, u
+	}
+	e := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	pu, pv := len(g.adj[u]), len(g.adj[v])
+	g.adj[u] = append(g.adj[u], Half{Peer: v, PeerPort: pv, Edge: e})
+	g.adj[v] = append(g.adj[v], Half{Peer: u, PeerPort: pu, Edge: e})
+	return e, nil
+}
+
+// MustAddEdge is AddEdge for construction code with static arguments.
+func (g *Graph) MustAddEdge(u, v int, w Weight) int {
+	e, err := g.AddEdge(u, v, w)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// PortTo returns the port number at u of the edge leading to v, or -1 if u
+// and v are not adjacent.
+func (g *Graph) PortTo(u, v int) int {
+	for p, h := range g.adj[u] {
+		if h.Peer == v {
+			return p
+		}
+	}
+	return -1
+}
+
+// EdgeBetween returns the edge index between u and v, or -1.
+func (g *Graph) EdgeBetween(u, v int) int {
+	for _, h := range g.adj[u] {
+		if h.Peer == v {
+			return h.Edge
+		}
+	}
+	return -1
+}
+
+// Other returns the endpoint of edge e that is not v.
+func (g *Graph) Other(e, v int) int {
+	ed := g.edges[e]
+	if ed.U == v {
+		return ed.V
+	}
+	return ed.U
+}
+
+// Connected reports whether the graph is connected (true for n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	seen := make([]bool, g.N())
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[v] {
+			if !seen[h.Peer] {
+				seen[h.Peer] = true
+				count++
+				stack = append(stack, h.Peer)
+			}
+		}
+	}
+	return count == g.N()
+}
+
+// HasDistinctWeights reports whether all edge weights are pairwise distinct.
+func (g *Graph) HasDistinctWeights() bool {
+	ws := make([]Weight, 0, len(g.edges))
+	for _, e := range g.edges {
+		ws = append(ws, e.W)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	for i := 1; i < len(ws); i++ {
+		if ws[i] == ws[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// BFSDistances returns hop distances from src (unweighted), with -1 for
+// unreachable nodes.
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[v] {
+			if dist[h.Peer] < 0 {
+				dist[h.Peer] = dist[v] + 1
+				queue = append(queue, h.Peer)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the hop diameter of a connected graph (0 for n ≤ 1).
+// It runs BFS from every node; intended for test/experiment sizes.
+func (g *Graph) Diameter() int {
+	d := 0
+	for v := 0; v < g.N(); v++ {
+		for _, x := range g.BFSDistances(v) {
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// Validate checks structural invariants: port symmetry, edge endpoint order,
+// and identity uniqueness. It returns nil on a well-formed graph.
+func (g *Graph) Validate() error {
+	if len(g.ids) != len(g.adj) {
+		return errors.New("graph: ids/adj length mismatch")
+	}
+	for v := range g.adj {
+		for p, h := range g.adj[v] {
+			if h.Peer < 0 || h.Peer >= g.N() {
+				return fmt.Errorf("graph: node %d port %d: peer out of range", v, p)
+			}
+			back := g.adj[h.Peer][h.PeerPort]
+			if back.Peer != v || back.Edge != h.Edge {
+				return fmt.Errorf("graph: asymmetric port at node %d port %d", v, p)
+			}
+			e := g.edges[h.Edge]
+			if !(e.U == v && e.V == h.Peer || e.V == v && e.U == h.Peer) {
+				return fmt.Errorf("graph: edge record mismatch at node %d port %d", v, p)
+			}
+		}
+	}
+	for _, e := range g.edges {
+		if e.U >= e.V {
+			return fmt.Errorf("graph: edge (%d,%d) not canonical", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		ids:   append([]NodeID(nil), g.ids...),
+		idx:   make(map[NodeID]int, len(g.idx)),
+		adj:   make([][]Half, len(g.adj)),
+		edges: append([]Edge(nil), g.edges...),
+	}
+	for id, i := range g.idx {
+		c.idx[id] = i
+	}
+	for v := range g.adj {
+		c.adj[v] = append([]Half(nil), g.adj[v]...)
+	}
+	return c
+}

@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the reference MST oracle (Kruskal over a union-find)
+// and the distinct-weight transform ω′ of Kor et al. described in footnote 1
+// of the paper: ω′(e) = ⟨ω(e), 1−Y(e), IDmin(e), IDmax(e)⟩, where Y(e)
+// indicates membership in the candidate tree T. Under ω′ all weights are
+// distinct and T is an MST under ω iff T is an MST under ω′ — which is the
+// property verification needs (the standard ID-only tie-break does not
+// preserve it).
+
+// EdgeOrder is a strict weak order on edge indices of a graph. All MST code
+// in the repository compares edges only through an EdgeOrder, so the same
+// algorithms run on raw distinct weights or on the ω′ transform.
+type EdgeOrder func(e1, e2 int) bool
+
+// ByWeight returns the natural order on raw weights with an index tie-break
+// (valid as a total order; correct for MST only when weights are distinct).
+func ByWeight(g *Graph) EdgeOrder {
+	return func(e1, e2 int) bool {
+		a, b := g.Edge(e1), g.Edge(e2)
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		return e1 < e2
+	}
+}
+
+// ModifiedOrder returns the ω′ order of Kor et al. for candidate tree
+// membership inTree: first raw weight, then tree edges before non-tree edges,
+// then the smaller endpoint identity, then the larger one. The resulting
+// order is total whenever node identities are unique.
+func ModifiedOrder(g *Graph, inTree func(e int) bool) EdgeOrder {
+	return func(e1, e2 int) bool {
+		a, b := g.Edge(e1), g.Edge(e2)
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		y1, y2 := 0, 0
+		if inTree(e1) {
+			y1 = 1
+		}
+		if inTree(e2) {
+			y2 = 1
+		}
+		if y1 != y2 {
+			return y1 > y2 // 1−Y smaller for tree edges
+		}
+		min1, max1 := endpointIDs(g, e1)
+		min2, max2 := endpointIDs(g, e2)
+		if min1 != min2 {
+			return min1 < min2
+		}
+		return max1 < max2
+	}
+}
+
+func endpointIDs(g *Graph, e int) (lo, hi NodeID) {
+	ed := g.Edge(e)
+	a, b := g.ID(ed.U), g.ID(ed.V)
+	if a < b {
+		return a, b
+	}
+	return b, a
+}
+
+// unionFind is a standard disjoint-set structure with path compression and
+// union by rank.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}
+
+// Kruskal returns the edge indices of the minimum spanning tree of a
+// connected graph under the given order, sorted ascending by edge index.
+func Kruskal(g *Graph, less EdgeOrder) ([]int, error) {
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return less(order[i], order[j]) })
+	uf := newUnionFind(g.N())
+	tree := make([]int, 0, g.N()-1)
+	for _, e := range order {
+		ed := g.Edge(e)
+		if uf.union(ed.U, ed.V) {
+			tree = append(tree, e)
+		}
+	}
+	if len(tree) != g.N()-1 && g.N() > 0 {
+		return nil, fmt.Errorf("graph: not connected (tree has %d of %d edges)", len(tree), g.N()-1)
+	}
+	sort.Ints(tree)
+	return tree, nil
+}
+
+// MSTWeight returns the total raw weight of an edge set.
+func MSTWeight(g *Graph, edges []int) Weight {
+	var w Weight
+	for _, e := range edges {
+		w += g.Edge(e).W
+	}
+	return w
+}
+
+// IsSpanningTree reports whether the edge set forms a spanning tree of g.
+func IsSpanningTree(g *Graph, edges []int) bool {
+	if len(edges) != g.N()-1 {
+		return false
+	}
+	uf := newUnionFind(g.N())
+	for _, e := range edges {
+		ed := g.Edge(e)
+		if !uf.union(ed.U, ed.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMST reports whether the edge set is a minimum spanning tree of g under
+// the given order, using the cycle property: for every non-tree edge e, e
+// must be the unique maximum on the tree path between its endpoints. This
+// check is valid for any total order, including ω′.
+func IsMST(g *Graph, edges []int, less EdgeOrder) bool {
+	if !IsSpanningTree(g, edges) {
+		return false
+	}
+	inTree := make([]bool, g.M())
+	for _, e := range edges {
+		inTree[e] = true
+	}
+	// Build tree adjacency.
+	adj := make([][]Half, g.N())
+	for _, e := range edges {
+		ed := g.Edge(e)
+		adj[ed.U] = append(adj[ed.U], Half{Peer: ed.V, Edge: e})
+		adj[ed.V] = append(adj[ed.V], Half{Peer: ed.U, Edge: e})
+	}
+	// Root at 0; compute parents by BFS.
+	parent := make([]int, g.N())
+	parentEdge := make([]int, g.N())
+	depth := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+		parentEdge[i] = -1
+	}
+	queue := []int{0}
+	seen := make([]bool, g.N())
+	seen[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range adj[v] {
+			if !seen[h.Peer] {
+				seen[h.Peer] = true
+				parent[h.Peer] = v
+				parentEdge[h.Peer] = h.Edge
+				depth[h.Peer] = depth[v] + 1
+				queue = append(queue, h.Peer)
+			}
+		}
+	}
+	for e := 0; e < g.M(); e++ {
+		if inTree[e] {
+			continue
+		}
+		ed := g.Edge(e)
+		// Walk the tree path from both endpoints to their LCA; every tree
+		// edge on the path must be lighter than e under the order.
+		u, v := ed.U, ed.V
+		for u != v {
+			if depth[u] < depth[v] {
+				u, v = v, u
+			}
+			if !less(parentEdge[u], e) {
+				return false
+			}
+			u = parent[u]
+		}
+	}
+	return true
+}
+
+// FragmentMinOutEdge returns the minimum outgoing edge (under less) of the
+// node set frag (given as a membership predicate over node indices), or -1
+// if no outgoing edge exists. Used as the oracle against which distributed
+// minimum-outgoing-edge searches are tested.
+func FragmentMinOutEdge(g *Graph, member func(v int) bool, less EdgeOrder) int {
+	best := -1
+	for e := 0; e < g.M(); e++ {
+		ed := g.Edge(e)
+		if member(ed.U) == member(ed.V) {
+			continue
+		}
+		if best < 0 || less(e, best) {
+			best = e
+		}
+	}
+	return best
+}

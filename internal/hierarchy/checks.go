@@ -1,0 +1,270 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"ssmst/internal/graph"
+)
+
+// This file implements the paper's local legality conditions as pure
+// functions over a node's own strings and those of its tree neighbours:
+// the Roots-string conditions RS0–RS5 (§5.2), the candidate-function
+// conditions EPS0–EPS5 (§5.3), and the Or_EndP aggregation check that
+// implements the "precisely one endpoint per fragment" condition EPS1 in
+// the NumK style. The distributed verifier evaluates these at every node in
+// every round; they are also used directly in tests.
+
+// Violation is one failed local condition.
+type Violation struct {
+	Rule  string
+	Level int
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s@%d: %s", v.Rule, v.Level, v.Msg)
+}
+
+// LocalView is everything the RS/EPS checks may read at one node: the
+// paper's model lets a node read its own label and its tree neighbours'
+// labels in one time unit.
+type LocalView struct {
+	Ell        int      // ℓ: strings must have ℓ+1 entries
+	IsTreeRoot bool     // is this node the root of T (established by scheme SP)
+	Own        *Strings // the node's own strings
+	Parent     *Strings // parent's strings, nil iff IsTreeRoot
+	Children   []*Strings
+}
+
+// CheckLocal evaluates every local condition at one node and returns all
+// violations (empty for legal strings at this node).
+func CheckLocal(lv *LocalView) []Violation {
+	var out []Violation
+	add := func(rule string, level int, format string, args ...interface{}) {
+		out = append(out, Violation{Rule: rule, Level: level, Msg: fmt.Sprintf(format, args...)})
+	}
+	s := lv.Own
+	L := lv.Ell
+
+	// RS1: string lengths are ℓ+1 (all four strings).
+	if len(s.Roots) != L+1 || len(s.EndP) != L+1 || len(s.Parents) != L+1 || len(s.OrEndP) != L+1 {
+		add("RS1", -1, "string lengths (%d,%d,%d,%d) ≠ ℓ+1=%d",
+			len(s.Roots), len(s.EndP), len(s.Parents), len(s.OrEndP), L+1)
+		return out // further indexing is unsafe
+	}
+	if lv.Parent != nil && lv.Parent.Levels() != L+1 {
+		add("RS1", -1, "parent string length %d ≠ ℓ+1=%d", lv.Parent.Levels(), L+1)
+		return out
+	}
+	for i, c := range lv.Children {
+		if c.Levels() != L+1 {
+			add("RS1", -1, "child %d string length %d ≠ ℓ+1=%d", i, c.Levels(), L+1)
+			return out
+		}
+	}
+
+	// Symbol sanity and EndP/Roots alignment ('*' in one iff '*' in other).
+	for j := 0; j <= L; j++ {
+		switch s.Roots[j] {
+		case RootsYes, RootsNo, RootsNone:
+		default:
+			add("RS", j, "invalid Roots symbol %q", s.Roots[j])
+		}
+		switch s.EndP[j] {
+		case EndPUp, EndPDown, EndPNone, EndPStar:
+		default:
+			add("EPS", j, "invalid EndP symbol %q", s.EndP[j])
+		}
+		if (s.Roots[j] == RootsNone) != (s.EndP[j] == EndPStar) {
+			add("ALIGN", j, "Roots %q vs EndP %q", s.Roots[j], s.EndP[j])
+		}
+	}
+
+	// RS0: no '1' after a '0' (prefix in [1,*]*, suffix in [0,*]*).
+	seenZero := false
+	for j := 0; j <= L; j++ {
+		if s.Roots[j] == RootsNo {
+			seenZero = true
+		}
+		if s.Roots[j] == RootsYes && seenZero {
+			add("RS0", j, "'1' after a '0'")
+		}
+	}
+
+	// RS2: the root of T has only '1'/'*' and '1' at position ℓ.
+	if lv.IsTreeRoot {
+		for j := 0; j <= L; j++ {
+			if s.Roots[j] == RootsNo {
+				add("RS2", j, "tree root marked non-root member")
+			}
+		}
+		if s.Roots[L] != RootsYes {
+			add("RS2", L, "tree root's ℓ entry is %q", s.Roots[L])
+		}
+	}
+
+	// RS3: position 0 is '1' at every node.
+	if s.Roots[0] != RootsYes {
+		add("RS3", 0, "position 0 is %q", s.Roots[0])
+	}
+
+	// RS4: non-root nodes have '0' at position ℓ.
+	if !lv.IsTreeRoot && s.Roots[L] != RootsNo {
+		add("RS4", L, "non-root ℓ entry is %q", s.Roots[L])
+	}
+
+	// RS5: Roots[j]=='0' requires the parent's entry ≠ '*'.
+	for j := 0; j <= L; j++ {
+		if s.Roots[j] == RootsNo {
+			if lv.Parent == nil {
+				add("RS5", j, "member '0' at tree root")
+			} else if lv.Parent.Roots[j] == RootsNone {
+				add("RS5", j, "parent has '*' at member level")
+			}
+		}
+	}
+
+	out = append(out, checkEPS(lv)...)
+	out = append(out, checkOrEndP(lv)...)
+	return out
+}
+
+func checkEPS(lv *LocalView) []Violation {
+	var out []Violation
+	add := func(rule string, level int, format string, args ...interface{}) {
+		out = append(out, Violation{Rule: rule, Level: level, Msg: fmt.Sprintf(format, args...)})
+	}
+	s := lv.Own
+	L := lv.Ell
+
+	for j := 0; j <= L; j++ {
+		// EPS0: Parents[j] set implies the parent's EndP[j] is 'down'.
+		if s.Parents[j] && (lv.Parent == nil || lv.Parent.EndP[j] != EndPDown) {
+			add("EPS0", j, "Parents mark without 'down' at parent")
+		}
+		// EPS2: EndP 'down' implies exactly one child has Parents[j].
+		if s.EndP[j] == EndPDown {
+			count := 0
+			for _, c := range lv.Children {
+				if c.Parents[j] {
+					count++
+				}
+			}
+			if count != 1 {
+				add("EPS2", j, "'down' with %d marked children", count)
+			}
+		}
+		// EPS3: EndP 'up' implies Roots[j]=='1' and no '1' above j.
+		if s.EndP[j] == EndPUp {
+			if lv.Parent == nil {
+				add("EPS3", j, "'up' at root of T")
+			}
+			if s.Roots[j] != RootsYes {
+				add("EPS3", j, "'up' but Roots[j]=%q", s.Roots[j])
+			}
+			for i := j + 1; i <= L; i++ {
+				if s.Roots[i] == RootsYes {
+					add("EPS3", j, "'up' but Roots[%d]=='1'", i)
+				}
+			}
+		}
+		// EPS4: Parents[j] implies Roots[j] ≠ '0' and no '1' above j.
+		if s.Parents[j] {
+			if s.Roots[j] == RootsNo {
+				add("EPS4", j, "Parents mark but Roots[j]=='0'")
+			}
+			for i := j + 1; i <= L; i++ {
+				if s.Roots[i] == RootsYes {
+					add("EPS4", j, "Parents mark but Roots[%d]=='1'", i)
+				}
+			}
+		}
+	}
+
+	// EPS5: every non-root has some 'up' or Parents mark.
+	if !lv.IsTreeRoot {
+		found := false
+		for j := 0; j <= L; j++ {
+			if s.Parents[j] || s.EndP[j] == EndPUp {
+				found = true
+				break
+			}
+		}
+		if !found {
+			add("EPS5", -1, "no hook level at non-root")
+		}
+	}
+	return out
+}
+
+// checkOrEndP verifies the NumK-style aggregation that gives EPS1
+// ("precisely one candidate endpoint per fragment"):
+//
+//	OrEndP[j](v) = isEndpoint(v,j) ∨ OR over children c in Fj(v),
+//	with at most one contributor, and exactly one at each fragment root
+//	(zero for the whole tree T).
+func checkOrEndP(lv *LocalView) []Violation {
+	var out []Violation
+	add := func(rule string, level int, format string, args ...interface{}) {
+		out = append(out, Violation{Rule: rule, Level: level, Msg: fmt.Sprintf(format, args...)})
+	}
+	s := lv.Own
+	L := lv.Ell
+	for j := 0; j <= L; j++ {
+		if s.Roots[j] == RootsNone {
+			if s.OrEndP[j] {
+				add("EPS1", j, "OrEndP set outside any fragment")
+			}
+			continue
+		}
+		own := s.EndP[j] == EndPUp || s.EndP[j] == EndPDown
+		contributors := 0
+		if own {
+			contributors++
+		}
+		or := own
+		for _, c := range lv.Children {
+			if c.Roots[j] == RootsNo && c.OrEndP[j] {
+				contributors++
+				or = true
+			}
+		}
+		if s.OrEndP[j] != or {
+			add("EPS1", j, "OrEndP=%v but aggregation yields %v", s.OrEndP[j], or)
+		}
+		if contributors > 1 {
+			add("EPS1", j, "%d endpoint contributors", contributors)
+		}
+		if s.Roots[j] == RootsYes {
+			// Fragment root: exactly one endpoint, except for T itself
+			// (the level-ℓ fragment rooted at the root of T).
+			isWholeTree := lv.IsTreeRoot && j == L
+			if isWholeTree && s.OrEndP[j] {
+				add("EPS1", j, "whole tree has a candidate endpoint")
+			}
+			if !isWholeTree && !s.OrEndP[j] {
+				add("EPS1", j, "fragment with no candidate endpoint")
+			}
+		}
+	}
+	return out
+}
+
+// CheckAll runs CheckLocal at every node of a labeled tree and returns all
+// violations keyed by node. A legal marking yields an empty map.
+func CheckAll(t *graph.Tree, ell int, ss []Strings) map[int][]Violation {
+	res := make(map[int][]Violation)
+	for v := 0; v < t.G.N(); v++ {
+		lv := &LocalView{Ell: ell, IsTreeRoot: v == t.Root, Own: &ss[v]}
+		if p := t.Parent[v]; p >= 0 {
+			lv.Parent = &ss[p]
+		}
+		for _, c := range t.Children(v) {
+			lv.Children = append(lv.Children, &ss[c])
+		}
+		if vs := CheckLocal(lv); len(vs) > 0 {
+			res[v] = vs
+		}
+	}
+	return res
+}

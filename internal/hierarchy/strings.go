@@ -1,0 +1,237 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"ssmst/internal/bits"
+	"ssmst/internal/graph"
+)
+
+// Entry symbols for the Roots strings (§5.2).
+const (
+	RootsYes  byte = '1' // v is the root of its level-j fragment
+	RootsNo   byte = '0' // v belongs to a level-j fragment but is not its root
+	RootsNone byte = '*' // v belongs to no level-j fragment
+)
+
+// Entry symbols for the EndP strings (§5.3).
+const (
+	EndPUp   byte = 'u' // candidate of Fj(v) is the edge to v's parent
+	EndPDown byte = 'd' // candidate of Fj(v) is an edge to one of v's children
+	EndPNone byte = 'n' // v belongs to Fj(v) but is not the candidate endpoint
+	EndPStar byte = '*' // v belongs to no level-j fragment
+)
+
+// Strings is the per-node §5 data structure: the distributed representation
+// of the hierarchy and its candidate function. All four strings have ℓ+1
+// entries (levels 0..ℓ).
+type Strings struct {
+	Roots   []byte
+	EndP    []byte
+	Parents []bool // Parents[j]: edge (parent(v),v) is candidate of parent's level-j fragment
+	OrEndP  []bool // OR over v's fragment-subtree of "is candidate endpoint at level j"
+}
+
+// Clone returns a deep copy.
+func (s *Strings) Clone() *Strings {
+	return &Strings{
+		Roots:   append([]byte(nil), s.Roots...),
+		EndP:    append([]byte(nil), s.EndP...),
+		Parents: append([]bool(nil), s.Parents...),
+		OrEndP:  append([]bool(nil), s.OrEndP...),
+	}
+}
+
+// BitSize counts the encoded size: Roots and EndP need 2 bits per entry,
+// Parents and Or_EndP one bit per entry — Θ(log n) in total.
+func (s *Strings) BitSize() int {
+	return bits.ForString(len(s.Roots), 3) +
+		bits.ForString(len(s.EndP), 4) +
+		len(s.Parents) + len(s.OrEndP)
+}
+
+// Levels returns the number of entries (ℓ+1).
+func (s *Strings) Levels() int { return len(s.Roots) }
+
+// InFragmentAt reports whether the node belongs to a level-j fragment.
+func (s *Strings) InFragmentAt(j int) bool {
+	return j >= 0 && j < len(s.Roots) && s.Roots[j] != RootsNone
+}
+
+// MarkStrings computes the marker's Strings for every node from a validated
+// hierarchy (the "correct instance" labels of §5.2–5.3).
+func MarkStrings(h *Hierarchy) []Strings {
+	t := h.Tree
+	n := t.G.N()
+	ell := h.Ell()
+	out := make([]Strings, n)
+	for v := 0; v < n; v++ {
+		out[v] = Strings{
+			Roots:   make([]byte, ell+1),
+			EndP:    make([]byte, ell+1),
+			Parents: make([]bool, ell+1),
+			OrEndP:  make([]bool, ell+1),
+		}
+		for j := 0; j <= ell; j++ {
+			fi := h.FragAt(v, j)
+			if fi < 0 {
+				out[v].Roots[j] = RootsNone
+				out[v].EndP[j] = EndPStar
+				continue
+			}
+			f := &h.Frags[fi]
+			if f.Root == v {
+				out[v].Roots[j] = RootsYes
+			} else {
+				out[v].Roots[j] = RootsNo
+			}
+			switch {
+			case f.Cand < 0 || f.CandInside != v:
+				out[v].EndP[j] = EndPNone
+			case t.G.Other(f.Cand, v) == t.Parent[v]:
+				out[v].EndP[j] = EndPUp
+			default:
+				out[v].EndP[j] = EndPDown
+			}
+		}
+	}
+	// Parents[j] at x: (y,x) is the candidate of the level-j fragment
+	// containing y, where y = parent(x).
+	for i := range h.Frags {
+		f := &h.Frags[i]
+		if f.Cand < 0 {
+			continue
+		}
+		e := t.G.Edge(f.Cand)
+		in, outNode := f.CandInside, e.U
+		if outNode == in {
+			outNode = e.V
+		}
+		if t.Parent[outNode] == in {
+			// Candidate goes down from the inside endpoint to its child.
+			out[outNode].Parents[f.Level] = true
+		}
+	}
+	// OrEndP: aggregate within each fragment, bottom-up over the tree.
+	for i := range h.Frags {
+		f := &h.Frags[i]
+		// Process fragment nodes in reverse DFS order so children precede
+		// parents.
+		nodes := append([]int(nil), f.Nodes...)
+		sort.Slice(nodes, func(a, b int) bool {
+			return t.DFSIndex(nodes[a]) > t.DFSIndex(nodes[b])
+		})
+		for _, v := range nodes {
+			or := out[v].EndP[f.Level] == EndPUp || out[v].EndP[f.Level] == EndPDown
+			for _, c := range t.Children(v) {
+				if h.FragAt(c, f.Level) == i && out[c].OrEndP[f.Level] {
+					or = true
+				}
+			}
+			out[v].OrEndP[f.Level] = or
+		}
+	}
+	return out
+}
+
+// FromStrings reconstructs the hierarchy and candidate function represented
+// by per-node strings over a rooted tree. It returns an error if the strings
+// are not a legal representation (the global analogue of the local RS/EPS
+// checks; used in tests to establish the round-trip property and the
+// soundness of the local checks).
+func FromStrings(t *graph.Tree, ss []Strings) (*Hierarchy, error) {
+	n := t.G.N()
+	if len(ss) != n {
+		return nil, fmt.Errorf("hierarchy: %d strings for %d nodes", len(ss), n)
+	}
+	levels := ss[0].Levels()
+	for v := range ss {
+		if ss[v].Levels() != levels {
+			return nil, fmt.Errorf("hierarchy: node %d string length %d ≠ %d", v, ss[v].Levels(), levels)
+		}
+	}
+	var raws []RawFragment
+	// For each level and each root-marked node, collect the fragment by
+	// walking down the tree through RootsNo entries.
+	for j := 0; j < levels; j++ {
+		assigned := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if ss[v].Roots[j] != RootsYes {
+				continue
+			}
+			var nodes []int
+			stack := []int{v}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				nodes = append(nodes, x)
+				assigned[x] = true
+				for _, c := range t.Children(x) {
+					if ss[c].Roots[j] == RootsNo {
+						stack = append(stack, c)
+					}
+				}
+			}
+			cand, err := findCandidate(t, ss, nodes, j)
+			if err != nil {
+				return nil, err
+			}
+			raws = append(raws, RawFragment{Nodes: nodes, Cand: cand})
+		}
+		for v := 0; v < n; v++ {
+			if ss[v].Roots[j] == RootsNo && !assigned[v] {
+				return nil, fmt.Errorf("hierarchy: node %d marked member at level %d but unreachable from a root", v, j)
+			}
+		}
+	}
+	return Build(t, raws)
+}
+
+// findCandidate locates the induced candidate edge of the fragment with the
+// given nodes at level j, per the EndP/Parents conventions.
+func findCandidate(t *graph.Tree, ss []Strings, nodes []int, j int) (int, error) {
+	cand := -1
+	wholeTree := len(nodes) == t.G.N()
+	for _, v := range nodes {
+		switch ss[v].EndP[j] {
+		case EndPUp:
+			if cand >= 0 {
+				return -1, fmt.Errorf("hierarchy: two candidate endpoints at level %d", j)
+			}
+			if t.Parent[v] < 0 {
+				return -1, fmt.Errorf("hierarchy: EndP up at root of T (level %d)", j)
+			}
+			cand = t.ParentEdge[v]
+		case EndPDown:
+			if cand >= 0 {
+				return -1, fmt.Errorf("hierarchy: two candidate endpoints at level %d", j)
+			}
+			marked := -1
+			for _, c := range t.Children(v) {
+				if j < ss[c].Levels() && ss[c].Parents[j] {
+					if marked >= 0 {
+						return -1, fmt.Errorf("hierarchy: two Parents marks under node %d level %d", v, j)
+					}
+					marked = c
+				}
+			}
+			if marked < 0 {
+				return -1, fmt.Errorf("hierarchy: EndP down at node %d level %d without Parents mark", v, j)
+			}
+			cand = t.ParentEdge[marked]
+		case EndPNone:
+		case EndPStar:
+			return -1, fmt.Errorf("hierarchy: EndP '*' inside a level-%d fragment", j)
+		default:
+			return -1, fmt.Errorf("hierarchy: invalid EndP symbol %q", ss[v].EndP[j])
+		}
+	}
+	if cand < 0 && !wholeTree {
+		return -1, fmt.Errorf("hierarchy: level-%d fragment without candidate", j)
+	}
+	if cand >= 0 && wholeTree {
+		return -1, fmt.Errorf("hierarchy: whole tree has candidate")
+	}
+	return cand, nil
+}

@@ -1,0 +1,304 @@
+package partition
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+	"ssmst/internal/syncmst"
+)
+
+func computeFor(t *testing.T, g *graph.Graph) *Partitions {
+	t.Helper()
+	res, err := syncmst.Simulate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compute(res.Hierarchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkInvariants verifies every structural property the verifier and the
+// trains rely on (experiment E9: Lemmas 6.4 and 6.5, Claim 6.3).
+func checkInvariants(t *testing.T, p *Partitions) {
+	t.Helper()
+	h := p.H
+	tree := h.Tree
+	n := tree.G.N()
+	lambda := p.Lambda
+
+	// Both partitions cover every node exactly once.
+	seenTop := make([]int, n)
+	seenBottom := make([]int, n)
+	for pi := range p.Parts {
+		part := &p.Parts[pi]
+		for _, v := range part.Nodes {
+			if part.Kind == Top {
+				seenTop[v]++
+			} else {
+				seenBottom[v]++
+			}
+		}
+		// Part is a connected subtree: every non-root node's parent inside.
+		member := map[int]bool{}
+		for _, v := range part.Nodes {
+			member[v] = true
+		}
+		for _, v := range part.Nodes {
+			if v != part.Root && !member[tree.Parent[v]] {
+				t.Fatalf("part %d (%s) not a subtree", pi, part.Kind)
+			}
+		}
+		if len(part.DFS) != len(part.Nodes) {
+			t.Fatalf("part %d DFS covers %d of %d nodes", pi, len(part.DFS), len(part.Nodes))
+		}
+	}
+	for v := 0; v < n; v++ {
+		if seenTop[v] != 1 || seenBottom[v] != 1 {
+			t.Fatalf("node %d covered top=%d bottom=%d times", v, seenTop[v], seenBottom[v])
+		}
+	}
+
+	for pi := range p.Parts {
+		part := &p.Parts[pi]
+		switch part.Kind {
+		case Top:
+			// Lemma 6.4: |P| ≥ λ (unless the whole tree is smaller), depth
+			// ≤ 4λ, at most one top fragment per level.
+			if part.Size() < lambda && part.Size() != n {
+				t.Errorf("top part %d has %d < λ=%d nodes", pi, part.Size(), lambda)
+			}
+			if part.Depth > 4*lambda {
+				t.Errorf("top part %d depth %d > 4λ=%d", pi, part.Depth, 4*lambda)
+			}
+			perLevel := map[int]map[int]bool{}
+			for _, v := range part.Nodes {
+				for j := 0; j <= h.Ell(); j++ {
+					fi := h.FragAt(v, j)
+					if fi < 0 || !p.IsTopFrag[fi] {
+						continue
+					}
+					if perLevel[j] == nil {
+						perLevel[j] = map[int]bool{}
+					}
+					perLevel[j][fi] = true
+				}
+			}
+			for j, set := range perLevel {
+				if len(set) > 1 {
+					t.Errorf("top part %d intersects %d top fragments at level %d", pi, len(set), j)
+				}
+			}
+		case Bottom:
+			// Lemma 6.5: |P| < λ and ≤ 2|P| bottom fragments stored.
+			if part.Size() >= lambda {
+				t.Errorf("bottom part %d has %d ≥ λ=%d nodes", pi, part.Size(), lambda)
+			}
+			if len(part.Frags) > 2*part.Size() {
+				t.Errorf("bottom part %d stores %d > 2|P| fragments", pi, len(part.Frags))
+			}
+		}
+		// Frags are sorted by level and the train capacity holds.
+		for i := 1; i < len(part.Frags); i++ {
+			if h.Frags[part.Frags[i]].Level < h.Frags[part.Frags[i-1]].Level {
+				t.Errorf("part %d fragments not level-sorted", pi)
+			}
+		}
+		if pairs := (len(part.Frags) + 1) / 2; pairs > part.Size() {
+			t.Errorf("part %d: %d pairs exceed part size %d", pi, pairs, part.Size())
+		}
+	}
+
+	// Completeness: for every node v and every fragment F containing v,
+	// I(F) is stored in one of the two parts containing v (§6.1: "the two
+	// parts containing it encode together the information regarding all
+	// fragments containing v").
+	for v := 0; v < n; v++ {
+		have := map[int]bool{}
+		for _, fi := range p.Parts[p.TopOf[v]].Frags {
+			have[fi] = true
+		}
+		for _, fi := range p.Parts[p.BottomOf[v]].Frags {
+			have[fi] = true
+		}
+		for j := 0; j <= h.Ell(); j++ {
+			if fi := h.FragAt(v, j); fi >= 0 && !have[fi] {
+				t.Fatalf("node %d: fragment %d (level %d) not covered by its parts", v, fi, j)
+			}
+		}
+	}
+
+	// Placement: pairs are stored at DFS-prefix nodes with ≤ 2 pieces per
+	// node per partition, and the stored sequence reproduces Frags.
+	for pi := range p.Parts {
+		part := &p.Parts[pi]
+		var got []hierarchy.Piece
+		for i := 0; i < part.Size(); i++ {
+			v := part.DFS[i]
+			var stored []hierarchy.Piece
+			if part.Kind == Top {
+				stored = p.StoredTop[v]
+			} else {
+				stored = p.StoredBottom[v]
+			}
+			if len(stored) > 2 {
+				t.Fatalf("node %d stores %d pieces for one train", v, len(stored))
+			}
+			got = append(got, stored...)
+		}
+		if len(got) != len(part.Frags) {
+			t.Fatalf("part %d: %d pieces placed for %d fragments", pi, len(got), len(part.Frags))
+		}
+		for i, fi := range part.Frags {
+			if got[i] != h.Piece(fi) {
+				t.Fatalf("part %d: piece %d misplaced", pi, i)
+			}
+		}
+	}
+}
+
+func TestPartitionsOnExample(t *testing.T) {
+	g := hierarchy.ExampleGraph()
+	p := computeFor(t, g)
+	checkInvariants(t, p)
+	// n=18, λ=8: top fragments are those with ≥ 8 nodes — the two level-3
+	// nines and T.
+	var tops []int
+	for i, is := range p.IsTopFrag {
+		if is {
+			tops = append(tops, p.H.Frags[i].Size())
+		}
+	}
+	sort.Ints(tops)
+	want := []int{9, 9, 18}
+	if len(tops) != len(want) {
+		t.Fatalf("top fragments %v, want sizes %v", tops, want)
+	}
+	for i := range want {
+		if tops[i] != want[i] {
+			t.Fatalf("top fragments %v, want sizes %v", tops, want)
+		}
+	}
+}
+
+func TestPartitionsAcrossFamilies(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.Path(33, 1),
+		graph.Ring(40, 2),
+		graph.Grid(6, 7, 3),
+		graph.Complete(24, 4),
+		graph.RandomConnected(64, 180, 5),
+		graph.Star(30, 6),
+		graph.Caterpillar(12, 3, 7),
+		graph.Lollipop(36, 9, 8),
+	}
+	for i, g := range cases {
+		p := computeFor(t, g)
+		checkInvariants(t, p)
+		_ = i
+	}
+}
+
+func TestPartitionsManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		n := 4 + int(seed*7%120)
+		m := n - 1 + int(seed*3%int64(2*n))
+		g := graph.RandomConnected(n, m, seed)
+		p := computeFor(t, g)
+		checkInvariants(t, p)
+	}
+}
+
+func TestLambdaFor(t *testing.T) {
+	cases := []struct{ n, l int }{{1, 2}, {4, 2}, {5, 4}, {18, 8}, {64, 8}, {100, 8}, {300, 16}}
+	for _, c := range cases {
+		if got := LambdaFor(c.n); got != c.l {
+			t.Errorf("LambdaFor(%d) = %d, want %d", c.n, got, c.l)
+		}
+	}
+}
+
+func TestMultiWaveLinearTime(t *testing.T) {
+	// Observation 6.8: the multi-wave completes in O(n) ideal time.
+	for _, n := range []int{16, 64, 256} {
+		g := graph.RandomConnected(n, 2*n, int64(n))
+		res, err := syncmst.Simulate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := SimulateMultiWave(res.Hierarchy)
+		if s.Total > 10*n {
+			t.Errorf("n=%d: multi-wave time %d not O(n)", n, s.Total)
+		}
+		// Children always finish before parents start.
+		for i := range res.Hierarchy.Frags {
+			for _, c := range res.Hierarchy.Frags[i].Children {
+				if s.Finish[c] >= s.Start[i] {
+					t.Fatalf("fragment %d starts before child %d finishes", i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMarkerTimeLinear(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		g := graph.RandomConnected(n, 2*n, int64(n)+7)
+		res, err := syncmst.Simulate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Compute(res.Hierarchy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mt := MarkerTime(res.Hierarchy, res.Rounds, p); mt > 100*n {
+			t.Errorf("n=%d: marker time %d not O(n)-like", n, mt)
+		}
+	}
+}
+
+// Property: across random graphs, the partition invariants hold (quick).
+func TestPartitionInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 6 + int(uint64(seed)%80)
+		m := n - 1 + int(uint64(seed)%uint64(n))
+		g := graph.RandomConnected(n, m, seed)
+		res, err := syncmst.Simulate(g)
+		if err != nil {
+			return false
+		}
+		p, err := Compute(res.Hierarchy)
+		if err != nil {
+			return false
+		}
+		// Coverage and fragment-piece completeness are the load-bearing
+		// invariants for the trains.
+		for v := 0; v < n; v++ {
+			if p.TopOf[v] < 0 || p.BottomOf[v] < 0 {
+				return false
+			}
+			have := map[int]bool{}
+			for _, fi := range p.Parts[p.TopOf[v]].Frags {
+				have[fi] = true
+			}
+			for _, fi := range p.Parts[p.BottomOf[v]].Frags {
+				have[fi] = true
+			}
+			for j := 0; j <= res.Hierarchy.Ell(); j++ {
+				if fi := res.Hierarchy.FragAt(v, j); fi >= 0 && !have[fi] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package runtime implements the paper's execution model (§2.1–2.2, after
+// [18,17]): a network of nodes, each holding a bounded number of memory bits
+// that are externally visible to its neighbours ("shared registers"). In one
+// ideal time unit a node reads the states of all its neighbours and computes
+// a new state of its own.
+//
+// Two daemons are provided:
+//
+//   - Synchronous: all nodes step simultaneously in rounds; every step reads
+//     the neighbour states of the previous round. This is the setting of
+//     SYNC_MST (§4) and of the synchronous detection-time bounds.
+//
+//   - Asynchronous: a randomized weakly-fair daemon activates nodes in an
+//     arbitrary interleaving; an activated node reads the *current* states
+//     of its neighbours atomically (fine-grained atomicity, per §2.1). One
+//     asynchronous time unit normalizes to "every node activated at least
+//     once"; optional jitter activates some nodes several times per unit to
+//     model delay variance.
+//
+// The engine supports adversarial state corruption (self-stabilization
+// starts from arbitrary states) and instruments rounds, activations, and the
+// maximum state size in bits, so the paper's complexity claims are measured
+// rather than asserted.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ssmst/internal/bits"
+	"ssmst/internal/graph"
+)
+
+// State is the externally visible memory of one node. Implementations must
+// be deep-copied by Clone; the engine snapshots states to enforce the
+// synchronous read-previous-round semantics.
+type State interface {
+	bits.Sized
+	Clone() State
+}
+
+// Alarmer is implemented by verifier states that can raise an alarm
+// (output "no" / reject, §2.4).
+type Alarmer interface {
+	Alarm() bool
+}
+
+// Terminator is implemented by states that signal local termination of a
+// terminating (non-self-stabilizing) algorithm.
+type Terminator interface {
+	Done() bool
+}
+
+// View is a stepping node's window onto the network: its own identity,
+// degree, incident edge weights, and the states of its neighbours. Neighbour
+// states are read-only; Step implementations must not mutate them.
+type View struct {
+	engine *Engine
+	node   int
+	snap   []State // states visible this step (previous round if synchronous)
+	rng    *rand.Rand
+}
+
+// Node returns the node's simulator index. It is exposed for instrumentation
+// only; protocol logic must use ID().
+func (v *View) Node() int { return v.node }
+
+// ID returns the node's unique identity.
+func (v *View) ID() graph.NodeID { return v.engine.g.ID(v.node) }
+
+// Degree returns the node's degree.
+func (v *View) Degree() int { return v.engine.g.Degree(v.node) }
+
+// Weight returns the weight of the edge at the given local port.
+func (v *View) Weight(port int) graph.Weight {
+	h := v.engine.g.Half(v.node, port)
+	return v.engine.g.Edge(h.Edge).W
+}
+
+// PeerPort returns the port number that the edge at my local port q carries
+// at the far endpoint. Port numbers are edge-local knowledge both endpoints
+// share (§2.1).
+func (v *View) PeerPort(q int) int {
+	return v.engine.g.Half(v.node, q).PeerPort
+}
+
+// Self returns the node's own current state (read-only).
+func (v *View) Self() State { return v.snap[v.node] }
+
+// Neighbour returns the visible state of the neighbour at the given port
+// (read-only).
+func (v *View) Neighbour(port int) State {
+	return v.snap[v.engine.g.Half(v.node, port).Peer]
+}
+
+// Round returns the global round/time-unit counter. Synchronous algorithms
+// with simultaneous wake-up (SYNC_MST) may use it as the common clock;
+// self-stabilizing protocols must not rely on it.
+func (v *View) Round() int { return v.engine.round }
+
+// Rand returns a deterministic per-node-per-round PRNG, safe under parallel
+// stepping.
+func (v *View) Rand() *rand.Rand {
+	if v.rng == nil {
+		seed := v.engine.seed ^ int64(v.node)*0x1E3779B97F4A7C15 ^ int64(v.engine.round)*0x3F58476D1CE4E5B9
+		v.rng = rand.New(rand.NewSource(seed))
+	}
+	return v.rng
+}
+
+// Machine is a distributed protocol in the register model. Init produces the
+// clean-start state of a node (simultaneous wake-up); Step computes the
+// node's next state from the view. Step must treat all states in the view as
+// immutable and return a fresh or cloned state.
+type Machine interface {
+	Init(v *View) State
+	Step(v *View) State
+}
+
+// Engine executes a Machine over a graph under one of the two daemons.
+type Engine struct {
+	g       *graph.Graph
+	machine Machine
+	states  []State
+	round   int
+	seed    int64
+	rng     *rand.Rand
+
+	// Jitter > 0 makes the asynchronous daemon activate each node
+	// 1+Poisson-like extra times per time unit.
+	Jitter float64
+	// Parallel enables goroutine fan-out for synchronous rounds.
+	Parallel bool
+
+	maxBits     int
+	activations int64
+}
+
+// New creates an engine with clean-start states from machine.Init.
+func New(g *graph.Graph, machine Machine, seed int64) *Engine {
+	e := &Engine{
+		g:       g,
+		machine: machine,
+		states:  make([]State, g.N()),
+		seed:    seed,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	snap := e.states
+	for i := 0; i < g.N(); i++ {
+		view := &View{engine: e, node: i, snap: snap}
+		e.states[i] = machine.Init(view)
+	}
+	e.recordBits()
+	return e
+}
+
+// G returns the underlying graph.
+func (e *Engine) G() *graph.Graph { return e.g }
+
+// Round returns the number of completed rounds/time units.
+func (e *Engine) Round() int { return e.round }
+
+// Activations returns the number of node activations so far.
+func (e *Engine) Activations() int64 { return e.activations }
+
+// MaxStateBits returns the maximum BitSize observed on any node at any time.
+func (e *Engine) MaxStateBits() int { return e.maxBits }
+
+// State returns node v's current state (read-only).
+func (e *Engine) State(v int) State { return e.states[v] }
+
+// SetState overwrites node v's state; used for adversarial initialization
+// and fault injection.
+func (e *Engine) SetState(v int, s State) { e.states[v] = s }
+
+// Corrupt applies an adversarial mutation to node v's state.
+func (e *Engine) Corrupt(v int, f func(State) State) {
+	e.states[v] = f(e.states[v].Clone())
+}
+
+func (e *Engine) recordBits() {
+	for _, s := range e.states {
+		if s == nil {
+			continue
+		}
+		if b := s.BitSize(); b > e.maxBits {
+			e.maxBits = b
+		}
+	}
+}
+
+// StepSync executes one synchronous round: every node reads the previous
+// round's states and all updates apply simultaneously.
+func (e *Engine) StepSync() {
+	n := e.g.N()
+	snap := make([]State, n)
+	copy(snap, e.states)
+	next := make([]State, n)
+	if e.Parallel && n >= 64 {
+		var wg sync.WaitGroup
+		workers := 8
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					view := &View{engine: e, node: i, snap: snap}
+					next[i] = e.machine.Step(view)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			view := &View{engine: e, node: i, snap: snap}
+			next[i] = e.machine.Step(view)
+		}
+	}
+	e.states = next
+	e.round++
+	e.activations += int64(n)
+	e.recordBits()
+}
+
+// StepAsync executes one asynchronous time unit: every node is activated at
+// least once, in a random interleaving, each activation reading current
+// states. With Jitter > 0, additional activations are interleaved.
+func (e *Engine) StepAsync() {
+	n := e.g.N()
+	order := make([]int, 0, n+n/2)
+	order = append(order, e.rng.Perm(n)...)
+	if e.Jitter > 0 {
+		for i := 0; i < n; i++ {
+			for e.rng.Float64() < e.Jitter {
+				order = append(order, i)
+			}
+		}
+		e.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// Weak fairness: guarantee one activation per node per unit by
+		// appending a final permutation pass.
+		order = append(order, e.rng.Perm(n)...)
+	}
+	for _, v := range order {
+		view := &View{engine: e, node: v, snap: e.states}
+		e.states[v] = e.machine.Step(view)
+		e.activations++
+	}
+	e.round++
+	e.recordBits()
+}
+
+// Step advances one time unit under the selected daemon.
+func (e *Engine) Step(async bool) {
+	if async {
+		e.StepAsync()
+	} else {
+		e.StepSync()
+	}
+}
+
+// AnyAlarm reports whether any node currently raises an alarm, and the index
+// of the first such node (-1 if none).
+func (e *Engine) AnyAlarm() (int, bool) {
+	for i, s := range e.states {
+		if a, ok := s.(Alarmer); ok && a.Alarm() {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// AlarmNodes returns all nodes currently raising an alarm.
+func (e *Engine) AlarmNodes() []int {
+	var out []int
+	for i, s := range e.states {
+		if a, ok := s.(Alarmer); ok && a.Alarm() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AllDone reports whether every node's state signals termination.
+func (e *Engine) AllDone() bool {
+	for _, s := range e.states {
+		t, ok := s.(Terminator)
+		if !ok || !t.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntil steps the engine (synchronously if async is false) until pred
+// holds or maxRounds elapse. It returns the number of rounds executed and
+// whether pred held.
+func (e *Engine) RunUntil(async bool, maxRounds int, pred func(*Engine) bool) (int, bool) {
+	start := e.round
+	for e.round-start < maxRounds {
+		if pred(e) {
+			return e.round - start, true
+		}
+		e.Step(async)
+	}
+	return e.round - start, pred(e)
+}
+
+// RunSyncRounds advances exactly k synchronous rounds.
+func (e *Engine) RunSyncRounds(k int) {
+	for i := 0; i < k; i++ {
+		e.StepSync()
+	}
+}
+
+// String summarizes the engine for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("engine{n=%d round=%d maxBits=%d}", e.g.N(), e.round, e.maxBits)
+}

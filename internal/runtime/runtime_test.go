@@ -1,0 +1,197 @@
+package runtime
+
+import (
+	"testing"
+
+	"ssmst/internal/bits"
+	"ssmst/internal/graph"
+)
+
+// minIDState is a toy flooding protocol: every node converges to the minimum
+// identity in the network. Used to exercise both daemons.
+type minIDState struct {
+	min graph.NodeID
+}
+
+func (s *minIDState) BitSize() int      { return bits.ForInt(int64(s.min)) }
+func (s *minIDState) Clone() State      { c := *s; return &c }
+func (s *minIDState) Min() graph.NodeID { return s.min }
+
+type minIDMachine struct{}
+
+func (minIDMachine) Init(v *View) State { return &minIDState{min: v.ID()} }
+
+func (minIDMachine) Step(v *View) State {
+	min := v.Self().(*minIDState).min
+	if own := v.ID(); own < min {
+		min = own
+	}
+	for p := 0; p < v.Degree(); p++ {
+		if ns := v.Neighbour(p).(*minIDState); ns.min < min {
+			min = ns.min
+		}
+	}
+	return &minIDState{min: min}
+}
+
+func trueMin(g *graph.Graph) graph.NodeID {
+	m := g.ID(0)
+	for v := 1; v < g.N(); v++ {
+		if g.ID(v) < m {
+			m = g.ID(v)
+		}
+	}
+	return m
+}
+
+func converged(e *Engine, want graph.NodeID) bool {
+	for v := 0; v < e.G().N(); v++ {
+		if e.State(v).(*minIDState).min != want {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSyncConvergesInDiameterRounds(t *testing.T) {
+	g := graph.Path(10, 1)
+	e := New(g, minIDMachine{}, 7)
+	want := trueMin(g)
+	rounds, ok := e.RunUntil(false, 100, func(e *Engine) bool { return converged(e, want) })
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if rounds > g.Diameter() {
+		t.Fatalf("took %d rounds, diameter is %d", rounds, g.Diameter())
+	}
+}
+
+func TestAsyncConverges(t *testing.T) {
+	g := graph.RandomConnected(20, 40, 3)
+	e := New(g, minIDMachine{}, 7)
+	e.Jitter = 0.5
+	want := trueMin(g)
+	_, ok := e.RunUntil(true, 200, func(e *Engine) bool { return converged(e, want) })
+	if !ok {
+		t.Fatal("async run did not converge")
+	}
+	if e.Activations() < int64(g.N()) {
+		t.Fatal("activation accounting wrong")
+	}
+}
+
+func TestSyncReadsPreviousRound(t *testing.T) {
+	// On a path with the minimum at one end, information travels exactly one
+	// hop per synchronous round; after k rounds the min has reached exactly
+	// the first k+1 nodes. This fails if the engine leaks current-round
+	// states.
+	ids := []graph.NodeID{1, 10, 11, 12, 13, 14}
+	g := graph.New(6, ids)
+	for i := 0; i+1 < 6; i++ {
+		g.MustAddEdge(i, i+1, graph.Weight(i+1))
+	}
+	e := New(g, minIDMachine{}, 0)
+	for k := 1; k < 6; k++ {
+		e.StepSync()
+		for v := 0; v < 6; v++ {
+			got := e.State(v).(*minIDState).min
+			if v <= k && got != 1 {
+				t.Fatalf("round %d: node %d should have min 1, has %d", k, v, got)
+			}
+			if v > k && got == 1 {
+				t.Fatalf("round %d: node %d received min too early", k, v)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := graph.RandomConnected(128, 300, 5)
+	seq := New(g, minIDMachine{}, 9)
+	par := New(g, minIDMachine{}, 9)
+	par.Parallel = true
+	for r := 0; r < 10; r++ {
+		seq.StepSync()
+		par.StepSync()
+		for v := 0; v < g.N(); v++ {
+			if seq.State(v).(*minIDState).min != par.State(v).(*minIDState).min {
+				t.Fatalf("round %d node %d: parallel diverged", r, v)
+			}
+		}
+	}
+}
+
+func TestCorruptAndSetState(t *testing.T) {
+	g := graph.Ring(5, 2)
+	e := New(g, minIDMachine{}, 1)
+	e.RunUntil(false, 50, func(e *Engine) bool { return converged(e, trueMin(g)) })
+	e.Corrupt(3, func(s State) State {
+		s.(*minIDState).min = 0 // adversarially low value
+		return s
+	})
+	// Flooding spreads the corrupted value — it is NOT self-stabilizing.
+	// This asymmetry is exactly why the paper needs verification.
+	e.RunSyncRounds(g.Diameter() + 1)
+	if !converged(e, 0) {
+		t.Fatal("corrupted min did not spread; engine not applying SetState")
+	}
+}
+
+func TestMaxStateBits(t *testing.T) {
+	g := graph.Path(4, 3)
+	e := New(g, minIDMachine{}, 1)
+	if e.MaxStateBits() <= 0 {
+		t.Fatal("bit accounting missing")
+	}
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if b := e.State(v).BitSize(); b > max {
+			max = b
+		}
+	}
+	if e.MaxStateBits() < max {
+		t.Fatal("MaxStateBits below current state size")
+	}
+}
+
+// alarmState exercises AnyAlarm/AlarmNodes.
+type alarmState struct {
+	minIDState
+	alarm bool
+}
+
+func (s *alarmState) Alarm() bool { return s.alarm }
+func (s *alarmState) Clone() State {
+	c := *s
+	return &c
+}
+
+type alarmMachine struct{ bad graph.NodeID }
+
+func (m alarmMachine) Init(v *View) State {
+	return &alarmState{minIDState: minIDState{min: v.ID()}}
+}
+
+func (m alarmMachine) Step(v *View) State {
+	s := v.Self().(*alarmState).Clone().(*alarmState)
+	s.alarm = v.ID() == m.bad
+	return s
+}
+
+func TestAlarms(t *testing.T) {
+	g := graph.Path(5, 4)
+	bad := g.ID(2)
+	e := New(g, alarmMachine{bad: bad}, 0)
+	if _, any := e.AnyAlarm(); any {
+		t.Fatal("alarm before stepping")
+	}
+	e.StepSync()
+	idx, any := e.AnyAlarm()
+	if !any || idx != 2 {
+		t.Fatalf("alarm at %d (any=%v), want node 2", idx, any)
+	}
+	nodes := e.AlarmNodes()
+	if len(nodes) != 1 || nodes[0] != 2 {
+		t.Fatalf("AlarmNodes = %v", nodes)
+	}
+}

@@ -1,0 +1,159 @@
+package selfstab
+
+import (
+	"math/rand"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/runtime"
+	"ssmst/internal/syncmst"
+	"ssmst/internal/verify"
+)
+
+// Runner drives the self-stabilizing MST over an engine.
+type Runner struct {
+	M     *Machine
+	Eng   *runtime.Engine
+	Async bool
+}
+
+// NewRunner builds the transformer engine; bound is the polynomial upper
+// bound N on n assumed by the reset substrate (pass g.N() for the exact
+// bound).
+func NewRunner(g *graph.Graph, bound int, mode verify.Mode, seed int64) *Runner {
+	m := NewMachine(g, bound, mode)
+	eng := runtime.New(g, m, seed)
+	m.Snapshot = func() []*SState {
+		out := make([]*SState, g.N())
+		for i := 0; i < g.N(); i++ {
+			if st, ok := eng.State(i).(*SState); ok {
+				out[i] = st
+			}
+		}
+		return out
+	}
+	return &Runner{M: m, Eng: eng, Async: mode == verify.Async}
+}
+
+// Step advances one time unit.
+func (r *Runner) Step() { r.Eng.Step(r.Async) }
+
+// Stabilized reports whether every node is checking the same epoch with no
+// alarm and the output forms a spanning tree.
+func (r *Runner) Stabilized() bool {
+	g := r.Eng.G()
+	var epoch int64 = -1
+	for v := 0; v < g.N(); v++ {
+		st, ok := r.Eng.State(v).(*SState)
+		if !ok || st.Phase != PhaseCheck || st.Check == nil || st.Check.AlarmFlag {
+			return false
+		}
+		if epoch < 0 {
+			epoch = st.Epoch
+		} else if st.Epoch != epoch {
+			return false
+		}
+	}
+	_, ok := r.OutputEdges()
+	return ok
+}
+
+// OutputEdges returns the edge set of the currently output structure, and
+// whether it is a spanning tree.
+func (r *Runner) OutputEdges() ([]int, bool) {
+	g := r.Eng.G()
+	edges := make([]int, 0, g.N()-1)
+	for v := 0; v < g.N(); v++ {
+		st, ok := r.Eng.State(v).(*SState)
+		if !ok || st.Check == nil {
+			return nil, false
+		}
+		if pp := st.Check.ParentPort; pp >= 0 {
+			if pp >= g.Degree(v) {
+				return nil, false
+			}
+			edges = append(edges, g.Half(v, pp).Edge)
+		}
+	}
+	return edges, graph.IsSpanningTree(g, edges)
+}
+
+// OutputIsMST reports whether the current output is the minimum spanning
+// tree of the graph.
+func (r *Runner) OutputIsMST() bool {
+	edges, ok := r.OutputEdges()
+	if !ok {
+		return false
+	}
+	return graph.IsMST(r.Eng.G(), edges, graph.ByWeight(r.Eng.G()))
+}
+
+// RunUntilStable steps until Stabilized and the output is the MST, or the
+// bound is reached; returns the rounds taken.
+func (r *Runner) RunUntilStable(maxRounds int) (int, bool) {
+	for i := 0; i < maxRounds; i++ {
+		r.Step()
+		if r.Stabilized() && r.OutputIsMST() {
+			return i + 1, true
+		}
+	}
+	return maxRounds, false
+}
+
+// StabilizationBudget is the O(N) bound within which a clean run (or a run
+// from arbitrary states with one detection round-trip) must stabilize.
+func (r *Runner) StabilizationBudget() int {
+	perEpoch := r.M.resyncDur() + r.M.buildDur() + r.M.labelDur()
+	detect := verify.DetectionBudget(r.Eng.G().N())
+	return 3*perEpoch + 2*detect
+}
+
+// Scramble installs adversarial arbitrary states at every node.
+func (r *Runner) Scramble(rng *rand.Rand) {
+	g := r.Eng.G()
+	for v := 0; v < g.N(); v++ {
+		v := v
+		st := &SState{
+			MyID:  g.ID(v),
+			Epoch: int64(rng.Intn(3)),
+			Phase: Phase(rng.Intn(4)),
+			Pulse: rng.Intn(4 * r.M.N),
+		}
+		switch st.Phase {
+		case PhaseBuild:
+			b := syncmst.NewState(g.ID(v))
+			b.ParentPort = rng.Intn(g.Degree(v)+1) - 1
+			b.Level = rng.Intn(6)
+			b.RootID = graph.NodeID(rng.Intn(4 * g.N()))
+			b.Phase = rng.Intn(6)
+			st.Build = b
+		case PhaseCheck:
+			// Garbage verifier state: empty labels at some nodes, shuffled
+			// parent ports at others.
+			c := poisonState(g.ID(v))
+			c.ParentPort = rng.Intn(g.Degree(v)+1) - 1
+			st.Check = c
+		}
+		r.Eng.SetState(v, st)
+	}
+}
+
+// InjectLabelFault corrupts a node's verifier state post-stabilization.
+func (r *Runner) InjectLabelFault(v int, rng *rand.Rand) bool {
+	st, ok := r.Eng.State(v).(*SState)
+	if !ok || st.Phase != PhaseCheck || st.Check == nil {
+		return false
+	}
+	c := st.Clone().(*SState)
+	// Flip a Roots entry — a §5 structural fault.
+	if len(c.Check.L.HS.Roots) == 0 {
+		return false
+	}
+	j := rng.Intn(len(c.Check.L.HS.Roots))
+	if c.Check.L.HS.Roots[j] == '1' {
+		c.Check.L.HS.Roots[j] = '*'
+	} else {
+		c.Check.L.HS.Roots[j] = '1'
+	}
+	r.Eng.SetState(v, c)
+	return true
+}

@@ -1,0 +1,391 @@
+// Package selfstab implements the paper's second main result (§10): a
+// self-stabilizing MST construction with O(log n) bits per node and O(n)
+// stabilization time, obtained by the enhanced Awerbuch–Varghese
+// Resynchronizer (Theorem 10.3): a construction algorithm Π (SYNC_MST) is
+// composed with a self-stabilizing checker (the verification scheme of
+// internal/verify); detection triggers a reset and re-execution.
+//
+// The transformer runs every node through four phases:
+//
+//	Resync  — a new epoch floods the network; an α-synchronizer pulse
+//	          discipline (advance only when no same-epoch neighbour lags)
+//	          brings every node into the epoch before anyone exits the
+//	          phase (the reset of [13] + the synchronizer of [10,11]).
+//	Build   — SYNC_MST runs with an epoch-relative pulse clock. Each node
+//	          keeps the current and previous pulse states (the classical
+//	          two-slot α-synchronizer), so a neighbour one pulse behind
+//	          reads exactly the state it would have seen synchronously.
+//	Label   — the marker assigns the proof labels. The distributed marker
+//	          is SYNC_MST plus label-writing actions (Lemma 5.4) and three
+//	          multi-waves (§6.3); this implementation computes the labels
+//	          with an engine-level oracle and charges the phase the
+//	          corresponding O(n) rounds (Corollary 6.11) — see DESIGN.md,
+//	          substitution 3.
+//	Check   — the verifier runs forever (it is itself self-stabilizing and
+//	          asynchrony-tolerant, so it needs no synchronizer); any alarm
+//	          starts a new epoch.
+//
+// Per the paper's model discussion, the substrate assumes a polynomial
+// upper bound N on n (the assumption the paper removes by plugging in
+// [1,28]-style size computation); stabilization time is O(N).
+package selfstab
+
+import (
+	"sync"
+
+	"ssmst/internal/bits"
+	"ssmst/internal/graph"
+	"ssmst/internal/runtime"
+	"ssmst/internal/syncmst"
+	"ssmst/internal/verify"
+)
+
+// Phase is the transformer's per-node mode.
+type Phase uint8
+
+// The transformer phases, in execution order.
+const (
+	PhaseResync Phase = iota
+	PhaseBuild
+	PhaseLabel
+	PhaseCheck
+)
+
+func (p Phase) String() string {
+	return [...]string{"resync", "build", "label", "check"}[p]
+}
+
+// SState is the composite per-node state of the transformer.
+type SState struct {
+	MyID  graph.NodeID
+	Epoch int64
+	Phase Phase
+	Pulse int // synchronizer pulse within the current phase
+
+	Build     *syncmst.State // build state at the current pulse
+	BuildPrev *syncmst.State // build state at the previous pulse (α slot)
+	Check     *verify.VState
+}
+
+// Clone returns a deep copy.
+func (s *SState) Clone() runtime.State {
+	c := *s
+	if s.Build != nil {
+		c.Build = s.Build.Clone().(*syncmst.State)
+	}
+	if s.BuildPrev != nil {
+		c.BuildPrev = s.BuildPrev.Clone().(*syncmst.State)
+	}
+	if s.Check != nil {
+		c.Check = s.Check.Clone().(*verify.VState)
+	}
+	return &c
+}
+
+// BitSize measures the composite state: the transformer bookkeeping plus
+// the live sub-states (two build slots during Build, the verifier during
+// Check) — O(log n) in total.
+func (s *SState) BitSize() int {
+	sub := 0
+	if s.Build != nil {
+		sub += s.Build.BitSize()
+	}
+	if s.BuildPrev != nil {
+		sub += s.BuildPrev.BitSize()
+	}
+	if s.Check != nil {
+		sub = bits.Max(sub, s.Check.BitSize())
+	}
+	return bits.Sum(
+		bits.ForInt(int64(s.MyID)),
+		bits.ForInt(s.Epoch),
+		2,
+		bits.ForInt(int64(s.Pulse)),
+		sub,
+	)
+}
+
+// Alarm reports the verifier's output during the check phase.
+func (s *SState) Alarm() bool {
+	return s.Phase == PhaseCheck && s.Check != nil && s.Check.AlarmFlag
+}
+
+// Done reports whether the node currently outputs a stable MST component.
+func (s *SState) Done() bool { return s.Phase == PhaseCheck && !s.Alarm() }
+
+var (
+	_ runtime.Machine = (*Machine)(nil)
+	_ runtime.Alarmer = (*SState)(nil)
+)
+
+// Machine is the transformer register program.
+type Machine struct {
+	G    *graph.Graph
+	N    int // polynomial upper bound on n (substitution 3 of DESIGN.md)
+	Mode verify.Mode
+
+	verifier *verify.Machine
+
+	mu     sync.Mutex
+	marked map[int64]*verify.Labeled // label oracle, memoized per epoch
+	// Snapshot lets the label oracle read the built tree; wired by the
+	// Runner after engine construction.
+	Snapshot func() []*SState
+}
+
+// NewMachine builds the transformer for a graph with bound N ≥ n.
+func NewMachine(g *graph.Graph, bound int, mode verify.Mode) *Machine {
+	return &Machine{
+		G:        g,
+		N:        bound,
+		Mode:     mode,
+		verifier: &verify.Machine{Mode: mode},
+		marked:   map[int64]*verify.Labeled{},
+	}
+}
+
+// Phase durations in pulses, all O(N).
+func (m *Machine) resyncDur() int { return 2*m.N + 8 }
+func (m *Machine) buildDur() int  { return 46*m.N + 24 }
+func (m *Machine) labelDur() int  { return 12*m.N + 8 }
+
+func (m *Machine) phaseDur(p Phase) int {
+	switch p {
+	case PhaseResync:
+		return m.resyncDur()
+	case PhaseBuild:
+		return m.buildDur()
+	case PhaseLabel:
+		return m.labelDur()
+	}
+	return 0
+}
+
+// Init is the clean start: every node enters a fresh epoch-0 resync.
+func (m *Machine) Init(v *runtime.View) runtime.State {
+	return &SState{MyID: v.ID(), Phase: PhaseResync}
+}
+
+// Step advances the transformer at one node.
+func (m *Machine) Step(v *runtime.View) runtime.State {
+	old := v.Self().(*SState)
+	s := old.Clone().(*SState)
+
+	// ---- Epoch adoption: the reset flood. ----
+	for q := 0; q < v.Degree(); q++ {
+		nb, ok := v.Neighbour(q).(*SState)
+		if ok && nb.Epoch > s.Epoch {
+			s.Epoch = nb.Epoch
+			s.Phase = PhaseResync
+			s.Pulse = 0
+			s.Build, s.BuildPrev, s.Check = nil, nil, nil
+		}
+	}
+	if s.Pulse < 0 || s.Pulse > m.phaseDur(s.Phase)+1 {
+		s.Pulse = 0 // corrupted pulse: restart the phase (hygiene)
+	}
+
+	switch s.Phase {
+	case PhaseResync, PhaseLabel:
+		if m.mayAdvance(v, s) {
+			s.Pulse++
+		}
+		if s.Pulse >= m.phaseDur(s.Phase) {
+			if s.Phase == PhaseResync {
+				s.Phase = PhaseBuild
+				s.Pulse = 0
+				s.Build = syncmst.NewState(s.MyID)
+				s.BuildPrev = nil
+			} else {
+				s.Phase = PhaseCheck
+				s.Pulse = 0
+				s.Check = m.installLabels(v.Node(), s)
+				s.Build, s.BuildPrev = nil, nil
+			}
+		}
+
+	case PhaseBuild:
+		if s.Build == nil {
+			s.Build = syncmst.NewState(s.MyID)
+		}
+		if m.mayAdvance(v, s) {
+			next := syncmst.StepCore(&buildView{v: v, s: s, round: s.Pulse})
+			s.BuildPrev = s.Build
+			s.Build = next
+			s.Pulse++
+		}
+		if s.Pulse >= m.buildDur() {
+			s.Phase = PhaseLabel
+			s.Pulse = 0
+			// Build states are kept: the label oracle reads them.
+		}
+
+	case PhaseCheck:
+		// Hold the verifier until the whole neighbourhood has reached the
+		// check phase of this epoch (the one-activation skew the
+		// synchronizer permits at the phase boundary must not read as a
+		// missing neighbour).
+		for q := 0; q < v.Degree(); q++ {
+			nb, ok := v.Neighbour(q).(*SState)
+			if !ok || nb.Epoch != s.Epoch || nb.Phase != PhaseCheck {
+				return s
+			}
+		}
+		if s.Check == nil {
+			s.Check = poisonState(s.MyID)
+		}
+		s.Check = m.verifier.StepCore(&checkView{v: v, s: s})
+		if s.Check.AlarmFlag {
+			// Detection: start a new epoch (the Resynchronizer drops back
+			// to re-execution).
+			s.Epoch++
+			s.Phase = PhaseResync
+			s.Pulse = 0
+			s.Build, s.BuildPrev, s.Check = nil, nil, nil
+		}
+
+	default:
+		s.Phase = PhaseResync
+		s.Pulse = 0
+	}
+	return s
+}
+
+// mayAdvance is the α-synchronizer gate: a node advances its pulse only
+// when no same-epoch neighbour is behind it (earlier phase, or same phase
+// with a smaller pulse). Different-epoch neighbours do not gate — they
+// adopt the epoch at their next activation.
+func (m *Machine) mayAdvance(v *runtime.View, s *SState) bool {
+	for q := 0; q < v.Degree(); q++ {
+		nb, ok := v.Neighbour(q).(*SState)
+		if !ok || nb.Epoch != s.Epoch {
+			continue
+		}
+		if nb.Phase < s.Phase {
+			return false
+		}
+		if nb.Phase == s.Phase && nb.Pulse < s.Pulse {
+			return false
+		}
+	}
+	return true
+}
+
+// installLabels returns the node's verifier state for the tree recorded in
+// the oracle for this epoch (poison labels when the built structure is not
+// a spanning tree, which makes the verifier reject and rebuild).
+func (m *Machine) installLabels(node int, s *SState) *verify.VState {
+	l := m.oracle(s.Epoch)
+	if l == nil {
+		return poisonState(s.MyID)
+	}
+	pp := -1
+	if p := l.Tree.Parent[node]; p >= 0 {
+		pp = m.G.PortTo(node, p)
+	}
+	return &verify.VState{
+		MyID:       s.MyID,
+		ParentPort: pp,
+		L:          l.Labels[node].Clone(),
+	}
+}
+
+// oracle computes (once per epoch) the labels for the currently built tree.
+func (m *Machine) oracle(epoch int64) *verify.Labeled {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l, ok := m.marked[epoch]; ok {
+		return l
+	}
+	var l *verify.Labeled
+	if m.Snapshot != nil {
+		states := m.Snapshot()
+		edges := make([]int, 0, m.G.N()-1)
+		valid := true
+		for v, st := range states {
+			if st == nil || st.Build == nil {
+				valid = false
+				break
+			}
+			if pp := st.Build.ParentPort; pp >= 0 {
+				if pp >= m.G.Degree(v) {
+					valid = false
+					break
+				}
+				edges = append(edges, m.G.Half(v, pp).Edge)
+			}
+		}
+		if valid && graph.IsSpanningTree(m.G, edges) {
+			if marked, err := verify.MarkTree(m.G, edges, false); err == nil {
+				l = marked
+			}
+		}
+	}
+	// Memoize (nil = poison); keep the map small.
+	for e := range m.marked {
+		if e < epoch-2 {
+			delete(m.marked, e)
+		}
+	}
+	m.marked[epoch] = l
+	return l
+}
+
+// poisonState is a verifier state that always rejects (installed when the
+// built structure was not a spanning tree).
+func poisonState(id graph.NodeID) *verify.VState {
+	return &verify.VState{MyID: id, ParentPort: -1, L: &verify.NodeLabels{}}
+}
+
+// buildView adapts the transformer state to syncmst.NodeView: only
+// same-epoch neighbours are visible, and a neighbour that has already
+// advanced past this node's pulse exposes its previous-pulse slot — the
+// state the node would have read in a synchronous execution.
+type buildView struct {
+	v     *runtime.View
+	s     *SState
+	round int
+}
+
+func (b *buildView) ID() graph.NodeID             { return b.v.ID() }
+func (b *buildView) Degree() int                  { return b.v.Degree() }
+func (b *buildView) Weight(port int) graph.Weight { return b.v.Weight(port) }
+func (b *buildView) PeerPort(q int) int           { return b.v.PeerPort(q) }
+func (b *buildView) Round() int                   { return b.round }
+func (b *buildView) Self() *syncmst.State         { return b.s.Build }
+func (b *buildView) Neighbour(port int) *syncmst.State {
+	nb, ok := b.v.Neighbour(port).(*SState)
+	if !ok || nb.Epoch != b.s.Epoch {
+		return nil
+	}
+	switch {
+	case nb.Phase == PhaseBuild && nb.Pulse == b.s.Pulse:
+		return nb.Build
+	case nb.Phase == PhaseBuild && nb.Pulse == b.s.Pulse+1:
+		return nb.BuildPrev
+	case nb.Phase == PhaseLabel:
+		// The neighbour finished building one pulse ahead (the maximum the
+		// gate permits); its previous-pulse slot, preserved through the
+		// label phase, is the state this node would have read.
+		return nb.BuildPrev
+	}
+	return nil
+}
+
+// checkView adapts the transformer state to verify.NodeView.
+type checkView struct {
+	v *runtime.View
+	s *SState
+}
+
+func (c *checkView) Degree() int                  { return c.v.Degree() }
+func (c *checkView) Weight(port int) graph.Weight { return c.v.Weight(port) }
+func (c *checkView) PeerPort(q int) int           { return c.v.PeerPort(q) }
+func (c *checkView) Self() *verify.VState         { return c.s.Check }
+func (c *checkView) Neighbour(port int) *verify.VState {
+	nb, ok := c.v.Neighbour(port).(*SState)
+	if !ok || nb.Epoch != c.s.Epoch || nb.Phase != PhaseCheck || nb.Check == nil {
+		return nil
+	}
+	return nb.Check
+}

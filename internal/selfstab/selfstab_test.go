@@ -1,0 +1,108 @@
+package selfstab
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/verify"
+)
+
+func TestCleanStartStabilizesToMST(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Path(12, 1),
+		graph.RandomConnected(24, 60, 2),
+		graph.Grid(4, 5, 3),
+	} {
+		r := NewRunner(g, g.N(), verify.Sync, 7)
+		rounds, ok := r.RunUntilStable(r.StabilizationBudget())
+		if !ok {
+			t.Fatalf("n=%d: did not stabilize within %d rounds", g.N(), r.StabilizationBudget())
+		}
+		if rounds > 70*g.N()+200 {
+			t.Errorf("n=%d: stabilization took %d rounds, not O(n)-like", g.N(), rounds)
+		}
+		// Once stable, it stays stable and silent.
+		for i := 0; i < 500; i++ {
+			r.Step()
+			if _, bad := r.Eng.AnyAlarm(); bad {
+				t.Fatalf("n=%d: alarm after stabilization", g.N())
+			}
+		}
+		if !r.OutputIsMST() {
+			t.Fatalf("n=%d: output degraded", g.N())
+		}
+	}
+}
+
+func TestStabilizesFromArbitraryStates(t *testing.T) {
+	g := graph.RandomConnected(20, 50, 5)
+	for seed := int64(0); seed < 5; seed++ {
+		r := NewRunner(g, g.N(), verify.Sync, seed)
+		r.Scramble(rand.New(rand.NewSource(seed * 31)))
+		if _, ok := r.RunUntilStable(2 * r.StabilizationBudget()); !ok {
+			t.Fatalf("seed %d: did not stabilize from arbitrary states", seed)
+		}
+		if !r.OutputIsMST() {
+			t.Fatalf("seed %d: stabilized to a non-MST", seed)
+		}
+	}
+}
+
+func TestFaultTriggersRebuildAndRecovery(t *testing.T) {
+	g := graph.RandomConnected(16, 40, 9)
+	r := NewRunner(g, g.N(), verify.Sync, 3)
+	if _, ok := r.RunUntilStable(r.StabilizationBudget()); !ok {
+		t.Fatal("initial stabilization failed")
+	}
+	epoch0 := r.Eng.State(0).(*SState).Epoch
+	rng := rand.New(rand.NewSource(17))
+	if !r.InjectLabelFault(4, rng) {
+		t.Fatal("could not inject fault")
+	}
+	// Detection, reset, rebuild, re-stabilize.
+	rounds, ok := r.RunUntilStable(r.StabilizationBudget())
+	if !ok {
+		t.Fatal("did not recover from fault")
+	}
+	if e := r.Eng.State(0).(*SState).Epoch; e <= epoch0 {
+		t.Fatalf("no epoch bump after fault (epoch %d)", e)
+	}
+	t.Logf("fault recovery in %d rounds", rounds)
+}
+
+func TestAsyncStabilizes(t *testing.T) {
+	g := graph.RandomConnected(14, 30, 11)
+	r := NewRunner(g, g.N(), verify.Async, 5)
+	r.Eng.Jitter = 0.3
+	if _, ok := r.RunUntilStable(3 * r.StabilizationBudget()); !ok {
+		t.Fatal("async run did not stabilize")
+	}
+	if !r.OutputIsMST() {
+		t.Fatal("async output not the MST")
+	}
+}
+
+func TestMemoryBoundedLogarithmic(t *testing.T) {
+	type pt struct{ n, bits int }
+	var pts []pt
+	for _, n := range []int{12, 48} {
+		g := graph.RandomConnected(n, 2*n, int64(n))
+		r := NewRunner(g, n, verify.Sync, 1)
+		r.RunUntilStable(r.StabilizationBudget())
+		pts = append(pts, pt{n, r.Eng.MaxStateBits()})
+	}
+	if pts[1].bits > 3*pts[0].bits {
+		t.Errorf("state growth not logarithmic: %+v", pts)
+	}
+	t.Logf("selfstab memory: %+v", pts)
+}
+
+func TestPhaseString(t *testing.T) {
+	want := []string{"resync", "build", "label", "check"}
+	for p := PhaseResync; p <= PhaseCheck; p++ {
+		if p.String() != want[p] {
+			t.Errorf("Phase(%d).String() = %q", p, p.String())
+		}
+	}
+}

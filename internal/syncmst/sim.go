@@ -1,0 +1,233 @@
+// Package syncmst implements SYNC_MST (§4 of the paper): the synchronous
+// MST construction algorithm with O(n) time and O(log n) bits per node that
+// underlies both the marker algorithm of the verification scheme and the
+// self-stabilizing MST construction.
+//
+// Two implementations are provided and cross-validated:
+//
+//   - Simulate: a centralized fragment-level replay of the phase semantics
+//     (phases at round 11·2^i; Count_Size with TTL 2^{i+1}−1; active
+//     fragments with |F| ≤ 2^{i+1}−1; minimum-outgoing-edge selection;
+//     pivot handshakes electing the larger identity). It produces the final
+//     tree, the hierarchy of active fragments, and the simulated round
+//     count. The marker uses it at scale.
+//
+//   - Machine: the actual distributed register program with exact round
+//     timing, executed on internal/runtime. Tests check that both produce
+//     identical trees and fragments.
+package syncmst
+
+import (
+	"errors"
+	"fmt"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+)
+
+// Result is the outcome of a SYNC_MST run.
+type Result struct {
+	Tree      *graph.Tree
+	Hierarchy *hierarchy.Hierarchy
+	// Rounds is the simulated synchronous round count: the algorithm
+	// terminates during phase ℓ, which ends at round 22·2^ℓ − 1.
+	Rounds int
+	// Phases is ℓ+1, the number of phases executed.
+	Phases int
+}
+
+// component is a fragment of the evolving forest during simulation.
+type component struct {
+	nodes  []int
+	root   int  // current GHS-root node
+	active bool // count succeeded this phase
+	cand   int  // selected min outgoing edge this phase (-1 none)
+	candW  int  // inside endpoint of cand
+}
+
+// Simulate runs the phase semantics of SYNC_MST centrally and returns the
+// final tree, the hierarchy of active fragments, and the round count.
+// Weights must be pairwise distinct.
+func Simulate(g *graph.Graph) (*Result, error) {
+	if g.N() == 0 {
+		return nil, errors.New("syncmst: empty graph")
+	}
+	if !g.Connected() {
+		return nil, errors.New("syncmst: graph not connected")
+	}
+	if !g.HasDistinctWeights() {
+		return nil, errors.New("syncmst: weights must be distinct (normalize first)")
+	}
+	n := g.N()
+	comp := make([]*component, 0, n)
+	compOf := make([]int, n)
+	for v := 0; v < n; v++ {
+		comp = append(comp, &component{nodes: []int{v}, root: v})
+		compOf[v] = v
+	}
+	var raws []hierarchy.RawFragment
+	treeEdges := make([]int, 0, n-1)
+	finalRoot := -1
+
+	live := len(comp)
+	phase := 0
+	for ; ; phase++ {
+		if phase > 2*n+2 {
+			return nil, fmt.Errorf("syncmst: runaway phase count %d", phase)
+		}
+		limit := 1<<(phase+1) - 1
+		// Count_Size: mark active components.
+		var active []int
+		for ci, c := range comp {
+			if c == nil {
+				continue
+			}
+			c.active = len(c.nodes) <= limit
+			c.cand = -1
+			if c.active {
+				active = append(active, ci)
+			}
+		}
+		// Find_Min_Out_Edge for each active component.
+		spanning := -1
+		for _, ci := range active {
+			c := comp[ci]
+			best, bestIn := -1, -1
+			for _, v := range c.nodes {
+				for _, h := range g.Ports(v) {
+					if compOf[h.Peer] == ci {
+						continue
+					}
+					if best < 0 || g.Edge(h.Edge).W < g.Edge(best).W {
+						best, bestIn = h.Edge, v
+					}
+				}
+			}
+			if best < 0 {
+				// No outgoing edge: the component spans the graph.
+				spanning = ci
+				break
+			}
+			c.cand, c.candW = best, bestIn
+		}
+		if spanning >= 0 {
+			c := comp[spanning]
+			raws = append(raws, hierarchy.RawFragment{Nodes: append([]int(nil), c.nodes...), Cand: -1})
+			finalRoot = c.root
+			break
+		}
+		// Record active fragments in the hierarchy (Comment 4.1: an active
+		// fragment is a fixed node set).
+		for _, ci := range active {
+			c := comp[ci]
+			raws = append(raws, hierarchy.RawFragment{
+				Nodes: append([]int(nil), c.nodes...),
+				Cand:  c.cand,
+			})
+		}
+		// Merging: each active component hooks over its candidate, except
+		// the larger-identity endpoint of a mutual pair, which becomes the
+		// root of the merged component. Components connected through
+		// selected edges unite; if a group contains an inactive component,
+		// that component's root remains root (nobody re-roots it).
+		parent := make(map[int]int, len(active)) // component -> component it hooks into
+		for _, ci := range active {
+			c := comp[ci]
+			e := g.Edge(c.cand)
+			out := e.U
+			if out == c.candW {
+				out = e.V
+			}
+			dj := compOf[out]
+			d := comp[dj]
+			if d.active && d.cand == c.cand {
+				// Mutual pair: the endpoint with the larger identity wins.
+				if g.ID(c.candW) > g.ID(out) {
+					continue // c's endpoint wins; c does not hook
+				}
+			}
+			parent[ci] = dj
+			treeEdges = append(treeEdges, c.cand)
+		}
+		// Union groups.
+		find := func(x int) int {
+			for {
+				p, ok := parent[x]
+				if !ok {
+					return x
+				}
+				x = p
+			}
+		}
+		groups := make(map[int][]int)
+		for ci, c := range comp {
+			if c == nil {
+				continue
+			}
+			groups[find(ci)] = append(groups[find(ci)], ci)
+		}
+		newComp := make([]*component, len(comp))
+		copy(newComp, comp)
+		for rootCi, members := range groups {
+			if len(members) == 1 {
+				continue
+			}
+			// The group's sink either is inactive (kept its root) or won a
+			// mutual handshake, in which case the re-orientation rooted it
+			// at the winning endpoint of the shared edge.
+			sink := comp[rootCi]
+			mergedRoot := sink.root
+			if sink.active && sink.cand >= 0 {
+				mergedRoot = sink.candW
+			}
+			merged := &component{root: mergedRoot}
+			for _, ci := range members {
+				merged.nodes = append(merged.nodes, comp[ci].nodes...)
+			}
+			newComp[rootCi] = merged
+			for _, ci := range members {
+				if ci != rootCi {
+					newComp[ci] = nil
+					live--
+				}
+			}
+			for _, v := range merged.nodes {
+				compOf[v] = rootCi
+			}
+		}
+		comp = newComp
+		_ = live
+	}
+
+	tree, err := graph.TreeFromEdges(g, sortedUnique(treeEdges), finalRoot)
+	if err != nil {
+		return nil, fmt.Errorf("syncmst: merged edges are not a spanning tree: %w", err)
+	}
+	h, err := hierarchy.Build(tree, raws)
+	if err != nil {
+		return nil, fmt.Errorf("syncmst: invalid hierarchy: %w", err)
+	}
+	return &Result{
+		Tree:      tree,
+		Hierarchy: h,
+		Rounds:    22*(1<<phase) - 1,
+		Phases:    phase + 1,
+	}, nil
+}
+
+func sortedUnique(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	k := 0
+	for i := range out {
+		if i == 0 || out[i] != out[i-1] {
+			out[k] = out[i]
+			k++
+		}
+	}
+	return out[:k]
+}

@@ -1,0 +1,328 @@
+// Package train implements the trains of §7: the mechanism that rotates the
+// distributed pieces I(F) through each part so that every node sees every
+// piece it needs in O(log n) time (synchronous) while holding only O(log n)
+// bits.
+//
+// Design (faithful to §7.1, engineered for self-stabilization):
+//
+//   - The marker places the part's k pieces on the first ⌈k/2⌉ nodes of the
+//     part's DFS order (§6.2). Every node carries verified position labels:
+//     PosStart (pieces strictly before it in DFS order), Cnt (pieces stored
+//     here), SubCnt (pieces in its part-subtree) and K (the part total) —
+//     a NumK-style 1-proof scheme that anchors the train to positions.
+//
+//   - Convergecast: each node offers an "up car" (pos, piece) to its part
+//     parent; a cursor UpNext walks the node's position window in order;
+//     consumption is detected by the parent's cursor moving past the car's
+//     position. Pieces are pipelined: one hop per round.
+//
+//   - Broadcast: the part root feeds consumed pieces into a "down buffer";
+//     a node copies its part parent's buffer when it differs from its own
+//     and the node's own children have caught up (pipelined PIF). The
+//     membership flag of §7.1 is recomputed at every copy from the node's
+//     own Roots strings.
+//
+//   - Self-stabilization: the root restarts the cycle with a reset wave
+//     whenever a cycle completes or its (label-bounded) cycle budget
+//     expires, so arbitrary car/cursor corruption washes out within one
+//     budget. Every node runs the §8 cycle-set check: between two wraps of
+//     the broadcast position, the levels it saw with positive membership
+//     must cover the levels of all fragments containing it.
+package train
+
+import (
+	"fmt"
+
+	"ssmst/internal/bits"
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+	"ssmst/internal/partition"
+)
+
+// Labels is the per-node, per-train verified label block.
+type Labels struct {
+	PartRootID graph.NodeID
+	PosStart   int
+	Cnt        int
+	SubCnt     int
+	K          int // total pieces in the part (equal at all part members)
+	Depth      int // distance from the part root within the part
+	DiamBound  int // claimed bound on part depth (equal across the part)
+	// Stored are the pieces kept permanently at this node (≤ 2).
+	Stored []hierarchy.Piece
+}
+
+// BitSize measures the label block.
+func (l *Labels) BitSize() int {
+	total := bits.Sum(
+		bits.ForInt(int64(l.PartRootID)),
+		bits.ForInt(int64(l.PosStart)),
+		bits.ForInt(int64(l.Cnt)),
+		bits.ForInt(int64(l.SubCnt)),
+		bits.ForInt(int64(l.K)),
+		bits.ForInt(int64(l.Depth)),
+		bits.ForInt(int64(l.DiamBound)),
+	)
+	for _, p := range l.Stored {
+		total += pieceBits(p)
+	}
+	return total
+}
+
+func pieceBits(p hierarchy.Piece) int {
+	w := 1
+	if p.W != hierarchy.NoOutWeight {
+		w = bits.ForInt(int64(p.W))
+	}
+	return bits.ForInt(int64(p.ID.RootID)) + bits.ForInt(int64(p.ID.Level)) + w
+}
+
+// Clone returns a deep copy.
+func (l *Labels) Clone() *Labels {
+	c := *l
+	c.Stored = append([]hierarchy.Piece(nil), l.Stored...)
+	return &c
+}
+
+// NodeLabels bundles the two trains' labels of one node.
+type NodeLabels struct {
+	Top    Labels
+	Bottom Labels
+}
+
+// BitSize measures both label blocks.
+func (nl *NodeLabels) BitSize() int { return nl.Top.BitSize() + nl.Bottom.BitSize() }
+
+// Clone returns a deep copy.
+func (nl *NodeLabels) Clone() *NodeLabels {
+	return &NodeLabels{Top: *nl.Top.Clone(), Bottom: *nl.Bottom.Clone()}
+}
+
+// Mark computes the train labels of every node from the partitions.
+func Mark(p *partition.Partitions) []NodeLabels {
+	t := p.H.Tree
+	n := t.G.N()
+	out := make([]NodeLabels, n)
+	for pi := range p.Parts {
+		part := &p.Parts[pi]
+		k := len(part.Frags)
+		// Per-node piece counts in DFS order.
+		cnt := make(map[int]int, len(part.DFS))
+		for i, v := range part.DFS {
+			c := 0
+			if 2*i < k {
+				c++
+			}
+			if 2*i+1 < k {
+				c++
+			}
+			cnt[v] = c
+		}
+		member := make(map[int]bool, len(part.Nodes))
+		for _, v := range part.Nodes {
+			member[v] = true
+		}
+		// PosStart via DFS prefix sums; SubCnt bottom-up.
+		pos := make(map[int]int, len(part.DFS))
+		running := 0
+		for _, v := range part.DFS {
+			pos[v] = running
+			running += cnt[v]
+		}
+		sub := make(map[int]int, len(part.DFS))
+		for i := len(part.DFS) - 1; i >= 0; i-- {
+			v := part.DFS[i]
+			s := cnt[v]
+			for _, c := range t.Children(v) {
+				if member[c] {
+					s += sub[c]
+				}
+			}
+			sub[v] = s
+		}
+		depth := map[int]int{part.Root: 0}
+		for _, v := range part.DFS {
+			if v != part.Root {
+				depth[v] = depth[t.Parent[v]] + 1
+			}
+		}
+		for _, v := range part.Nodes {
+			var stored []hierarchy.Piece
+			if part.Kind == partition.Top {
+				stored = p.StoredTop[v]
+			} else {
+				stored = p.StoredBottom[v]
+			}
+			lab := Labels{
+				PartRootID: t.G.ID(part.Root),
+				PosStart:   pos[v],
+				Cnt:        cnt[v],
+				SubCnt:     sub[v],
+				K:          k,
+				Depth:      depth[v],
+				DiamBound:  part.Depth,
+				Stored:     append([]hierarchy.Piece(nil), stored...),
+			}
+			if part.Kind == partition.Top {
+				out[v].Top = lab
+			} else {
+				out[v].Bottom = lab
+			}
+		}
+	}
+	return out
+}
+
+// NeighbourLabels is the view of one tree neighbour's labels during the
+// local label check.
+type NeighbourLabels struct {
+	IsParent bool
+	IsChild  bool
+	Port     int
+	L        *NodeLabels
+}
+
+// CheckLabels performs the 1-proof verification of one node's train labels
+// against its tree neighbours (the §8 "part diameter and piece count are
+// O(log n)" checks plus the position-scheme consistency). n is the verified
+// node count; ownID the node's identity; isTreeRoot from the SP scheme.
+func CheckLabels(own *NodeLabels, ownID graph.NodeID, isTreeRoot bool, n int, nbs []NeighbourLabels) error {
+	if err := checkOne(&own.Top, ownID, isTreeRoot, n, nbs, true); err != nil {
+		return fmt.Errorf("top train: %w", err)
+	}
+	if err := checkOne(&own.Bottom, ownID, isTreeRoot, n, nbs, false); err != nil {
+		return fmt.Errorf("bottom train: %w", err)
+	}
+	return nil
+}
+
+// LambdaThreshold returns λ(n) as a power of two: fragments of level ≥
+// LevelSplit(n) are top, lower levels bottom; this is the delimiter of §8.
+func LambdaThreshold(n int) int { return partition.LambdaFor(n) }
+
+// LevelSplit returns log2 λ(n): the first top level.
+func LevelSplit(n int) int {
+	l := 0
+	for 1<<uint(l) < LambdaThreshold(n) {
+		l++
+	}
+	return l
+}
+
+func checkOne(l *Labels, ownID graph.NodeID, isTreeRoot bool, n int, nbs []NeighbourLabels, top bool) error {
+	lam := LambdaThreshold(n)
+	split := LevelSplit(n)
+	maxK := 4 * lam
+	if l.K < 0 || l.K > maxK {
+		return fmt.Errorf("K=%d outside [0,%d]", l.K, maxK)
+	}
+	if l.Cnt != len(l.Stored) || l.Cnt > 2 {
+		return fmt.Errorf("Cnt=%d vs %d stored pieces", l.Cnt, len(l.Stored))
+	}
+	if l.SubCnt < l.Cnt || l.SubCnt > l.K {
+		return fmt.Errorf("SubCnt=%d outside [Cnt=%d, K=%d]", l.SubCnt, l.Cnt, l.K)
+	}
+	if l.PosStart < 0 || l.PosStart+l.SubCnt > l.K {
+		return fmt.Errorf("window [%d,%d) outside [0,%d)", l.PosStart, l.PosStart+l.SubCnt, l.K)
+	}
+	if l.DiamBound < 0 || l.DiamBound > 6*lam {
+		return fmt.Errorf("diam bound %d outside [0,%d]", l.DiamBound, 6*lam)
+	}
+	if l.Depth < 0 || l.Depth > l.DiamBound {
+		return fmt.Errorf("depth %d exceeds bound %d", l.Depth, l.DiamBound)
+	}
+	// Stored pieces: level-sorted, on the correct side of the delimiter.
+	ell := 0
+	for 1<<uint(ell+1) <= n {
+		ell++
+	}
+	for i, p := range l.Stored {
+		if p.ID.Level < 0 || p.ID.Level > ell {
+			return fmt.Errorf("stored piece level %d out of range", p.ID.Level)
+		}
+		if top && p.ID.Level < split {
+			return fmt.Errorf("bottom-level piece %d in top train", p.ID.Level)
+		}
+		if !top && p.ID.Level >= split {
+			return fmt.Errorf("top-level piece %d in bottom train", p.ID.Level)
+		}
+		if i > 0 && l.Stored[i].ID.Level < l.Stored[i-1].ID.Level {
+			return fmt.Errorf("stored pieces not level-sorted")
+		}
+	}
+
+	// Part structure relative to the tree parent.
+	var parent *Labels
+	for i := range nbs {
+		if nbs[i].IsParent {
+			parent = pick(nbs[i].L, top)
+		}
+	}
+	isPartRoot := l.PartRootID == ownID
+	if isTreeRoot && !isPartRoot {
+		return fmt.Errorf("tree root not a part root")
+	}
+	if parent != nil {
+		sameAsParent := parent.PartRootID == l.PartRootID
+		if isPartRoot && sameAsParent {
+			return fmt.Errorf("part root inside parent's part")
+		}
+		if !isPartRoot && !sameAsParent {
+			return fmt.Errorf("non-root with a foreign parent part")
+		}
+		if sameAsParent {
+			if l.Depth != parent.Depth+1 {
+				return fmt.Errorf("depth %d, parent depth %d", l.Depth, parent.Depth)
+			}
+			if l.DiamBound != parent.DiamBound {
+				return fmt.Errorf("diam bound mismatch with parent")
+			}
+			if l.K != parent.K {
+				return fmt.Errorf("K mismatch with parent")
+			}
+		}
+	}
+	if isPartRoot {
+		if l.Depth != 0 {
+			return fmt.Errorf("part root depth %d", l.Depth)
+		}
+		if l.PosStart != 0 {
+			return fmt.Errorf("part root PosStart %d", l.PosStart)
+		}
+		if l.SubCnt != l.K {
+			return fmt.Errorf("part root SubCnt %d ≠ K %d", l.SubCnt, l.K)
+		}
+	}
+	// Children windows partition my window after my own pieces, in port
+	// order (the DFS placement).
+	running := l.PosStart + l.Cnt
+	sum := l.Cnt
+	for i := range nbs {
+		if !nbs[i].IsChild {
+			continue
+		}
+		cl := pick(nbs[i].L, top)
+		if cl == nil || cl.PartRootID != l.PartRootID {
+			continue // child in a different part
+		}
+		if cl.PosStart != running {
+			return fmt.Errorf("child window starts at %d, want %d", cl.PosStart, running)
+		}
+		running += cl.SubCnt
+		sum += cl.SubCnt
+	}
+	if sum != l.SubCnt {
+		return fmt.Errorf("SubCnt %d ≠ own+children %d", l.SubCnt, sum)
+	}
+	return nil
+}
+
+func pick(nl *NodeLabels, top bool) *Labels {
+	if nl == nil {
+		return nil
+	}
+	if top {
+		return &nl.Top
+	}
+	return &nl.Bottom
+}

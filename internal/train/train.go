@@ -1,0 +1,327 @@
+package train
+
+import (
+	"ssmst/internal/bits"
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+)
+
+// Car is a convergecast buffer: one piece travelling toward the part root.
+type Car struct {
+	Valid bool
+	Pos   int
+	P     hierarchy.Piece
+}
+
+// Down is a broadcast buffer: one piece travelling away from the part root,
+// with the §7.1 membership flag.
+type Down struct {
+	Valid bool
+	Pos   int
+	P     hierarchy.Piece
+	Flag  bool
+}
+
+// samePayload compares two broadcast buffers ignoring the flag (each node
+// recomputes its own flag).
+func samePayload(a, b Down) bool {
+	return a.Valid == b.Valid && a.Pos == b.Pos && a.P == b.P
+}
+
+// State is the dynamic per-train state of one node.
+type State struct {
+	Up     Car
+	UpNext int
+	Down   Down
+
+	// Reset wave (cycle restart / self-stabilization flush).
+	Reset    bool
+	ResetAck bool
+	Timer    int // at the part root: rounds since the cycle started
+
+	// §8 cycle-set check state.
+	LastPos  int
+	SeenCnt  int // positions observed in the current window
+	CovMask  uint64
+	CovValid bool
+	Alarm    bool
+}
+
+// BitSize measures the dynamic train state.
+func (s *State) BitSize() int {
+	return bits.Sum(
+		1, bits.ForInt(int64(s.Up.Pos)), pieceBits(s.Up.P),
+		bits.ForInt(int64(s.UpNext)),
+		1, bits.ForInt(int64(s.Down.Pos)), pieceBits(s.Down.P), 1,
+		1, 1, bits.ForInt(int64(s.Timer)),
+		bits.ForInt(int64(s.LastPos)),
+		bits.ForInt(int64(s.SeenCnt)),
+		bits.ForUint(s.CovMask), 1, 1,
+	)
+}
+
+// Clone returns a copy (State has no reference fields).
+func (s *State) Clone() *State { c := *s; return &c }
+
+// PeerTrain is the visible train state and labels of one tree neighbour.
+type PeerTrain struct {
+	S *State
+	L *Labels
+}
+
+// Want is a sampler request (§7.2.2): the client asks server ServerID to
+// hold the piece of level Level in its Show register.
+type Want struct {
+	Valid    bool
+	ServerID graph.NodeID
+	Level    int
+}
+
+// Ctx is everything one train step may read, supplied by the embedding
+// verifier machine.
+type Ctx struct {
+	OwnID   graph.NodeID
+	Lab     *Labels
+	Strings *hierarchy.Strings // own strings, for membership flags and J(v)
+	N       int                // verified node count (budget, delimiter)
+	Top     bool               // which of the two trains this is
+
+	Parent   *PeerTrain // tree parent's same-kind train, nil at the tree root
+	Children []PeerTrain
+	// Wanted reports whether some graph neighbour currently requests that
+	// this node hold a shown piece of the given level (asynchronous mode).
+	Wanted func(level int) bool
+}
+
+// Budget returns the cycle budget: a healthy cycle (convergecast +
+// broadcast + reset flush) completes well within it.
+func (c *Ctx) Budget() int { return 8*(c.Lab.K+c.Lab.DiamBound) + 24 }
+
+// inPart reports whether the peer belongs to the same part.
+func inPart(c *Ctx, p *PeerTrain) bool {
+	return p != nil && p.L != nil && p.S != nil && p.L.PartRootID == c.Lab.PartRootID
+}
+
+// Step computes the next train state. It never mutates its inputs.
+func Step(old *State, c *Ctx) *State {
+	s := *old
+	l := c.Lab
+	if l.K == 0 {
+		// Empty train: hold a quiescent state.
+		return &State{}
+	}
+	isRoot := l.PartRootID == c.OwnID
+	parentIn := !isRoot && inPart(c, c.Parent)
+
+	// ---- Sanitize cursor and car against the verified window. ----
+	winLo, winHi := l.PosStart, l.PosStart+l.SubCnt
+	if s.UpNext < winLo || s.UpNext > winHi {
+		s.UpNext = winLo
+	}
+	if s.Up.Valid && (s.Up.Pos < winLo || s.Up.Pos >= winHi) {
+		s.Up.Valid = false
+	}
+
+	// ---- Reset wave. ----
+	if isRoot {
+		if s.Reset {
+			if childrenAcked(c) && !s.Up.Valid && s.UpNext == winLo {
+				s.Reset = false
+				s.Timer = 0
+			} else {
+				s.flush(winLo)
+			}
+		} else {
+			s.Timer++
+			cycleDone := s.UpNext == winHi && !s.Up.Valid
+			if cycleDone || s.Timer > c.Budget() {
+				s.Reset = true
+				s.flush(winLo)
+			}
+		}
+	} else {
+		pr := parentIn && c.Parent.S.Reset
+		s.Reset = pr
+		if s.Reset {
+			s.flush(winLo)
+			s.ResetAck = childrenAcked(c)
+		} else {
+			s.ResetAck = false
+		}
+	}
+
+	// ---- Convergecast (suspended during reset). ----
+	if !s.Reset {
+		// Consumption: the parent's cursor moved past my car.
+		if s.Up.Valid && parentIn && c.Parent.S.UpNext > s.Up.Pos {
+			s.Up.Valid = false
+		}
+		if isRoot && s.Up.Valid && samePayload(s.Down, Down{Valid: true, Pos: s.Up.Pos, P: s.Up.P}) {
+			// Root car already fed into the broadcast.
+			s.Up.Valid = false
+		}
+		// Offer the next position.
+		if !s.Up.Valid && s.UpNext < winHi {
+			switch {
+			case s.UpNext < l.PosStart+l.Cnt:
+				s.Up = Car{Valid: true, Pos: s.UpNext, P: l.Stored[s.UpNext-l.PosStart]}
+				s.UpNext++
+			default:
+				for i := range c.Children {
+					ch := &c.Children[i]
+					if !inPart(c, ch) {
+						continue
+					}
+					cl := ch.L
+					if cl.PosStart <= s.UpNext && s.UpNext < cl.PosStart+cl.SubCnt {
+						if ch.S.Up.Valid && ch.S.Up.Pos == s.UpNext {
+							s.Up = Car{Valid: true, Pos: s.UpNext, P: ch.S.Up.P}
+							s.UpNext++
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// ---- Broadcast (continues during reset so the pipeline drains). ----
+	// A server holds the train (§7.2.2) only while the shown piece is one a
+	// client can actually consume: a member piece of the wanted level.
+	hold := c.Wanted != nil && s.Down.Valid &&
+		c.Wanted(s.Down.P.ID.Level) && c.flagOrLevelMember(s.Down)
+	ackOK := childrenMatch(c, s.Down)
+	if !hold && ackOK {
+		if isRoot {
+			if s.Up.Valid && !samePayload(s.Down, Down{Valid: true, Pos: s.Up.Pos, P: s.Up.P}) {
+				nd := Down{Valid: true, Pos: s.Up.Pos, P: s.Up.P}
+				nd.Flag = c.flagFor(nd.P, true)
+				s.observe(c, nd)
+				s.Down = nd
+			}
+		} else if parentIn {
+			pd := c.Parent.S.Down
+			if pd.Valid && !samePayload(pd, s.Down) {
+				nd := Down{Valid: true, Pos: pd.Pos, P: pd.P}
+				nd.Flag = c.flagFor(nd.P, pd.Flag)
+				s.observe(c, nd)
+				s.Down = nd
+			}
+		}
+	}
+	return &s
+}
+
+// flush clears the convergecast machinery during a reset.
+func (s *State) flush(winLo int) {
+	s.Up = Car{}
+	s.UpNext = winLo
+	s.Timer = 0
+}
+
+// childrenAcked reports whether all same-part children acknowledged the
+// reset.
+func childrenAcked(c *Ctx) bool {
+	for i := range c.Children {
+		ch := &c.Children[i]
+		if inPart(c, ch) && !(ch.S.Reset && ch.S.ResetAck) {
+			return false
+		}
+	}
+	return true
+}
+
+// childrenMatch reports whether all same-part children copied the buffer.
+func childrenMatch(c *Ctx, d Down) bool {
+	if !d.Valid {
+		return true
+	}
+	for i := range c.Children {
+		ch := &c.Children[i]
+		if inPart(c, ch) && !samePayload(ch.S.Down, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// flagFor computes the §7.1 membership flag when copying a piece: true iff
+// this node belongs to the piece's fragment. For bottom fragments the flag
+// chains down from the fragment root; for top pieces membership is by-level
+// (the delimiter makes top and bottom levels disjoint).
+func (c *Ctx) flagFor(p hierarchy.Piece, parentFlag bool) bool {
+	j := p.ID.Level
+	if p.ID.RootID == c.OwnID {
+		return true
+	}
+	if c.Strings == nil || j < 0 || j >= c.Strings.Levels() {
+		return false
+	}
+	if c.Top {
+		return c.Strings.Roots[j] != hierarchy.RootsNone
+	}
+	return parentFlag && c.Strings.Roots[j] == hierarchy.RootsNo
+}
+
+// Member reports whether the shown piece belongs to a fragment containing
+// this node, per the flag/delimiter rules.
+func Member(d Down, strings *hierarchy.Strings, top bool, n int) bool {
+	if !d.Valid || strings == nil {
+		return false
+	}
+	j := d.P.ID.Level
+	if j < 0 || j >= strings.Levels() {
+		return false
+	}
+	split := LevelSplit(n)
+	if top != (j >= split) {
+		return false
+	}
+	if top {
+		return strings.Roots[j] != hierarchy.RootsNone
+	}
+	return d.Flag
+}
+
+// observe runs the §8 cycle-set check when a new piece arrives: between two
+// wraps of the broadcast position, the levels seen with positive membership
+// must cover every level of a fragment containing this node on this train's
+// side of the delimiter.
+func (s *State) observe(c *Ctx, nd Down) {
+	if nd.Pos < s.LastPos {
+		// Cycle boundary: recompute the alarm so that it clears once the
+		// train delivers correctly again (the verifier must stop rejecting
+		// after transient faults wash out of a correct instance). Partial
+		// windows (mid-cycle restarts after resets or holds) are skipped:
+		// only windows that showed all K positions are judged.
+		if s.CovValid && c.Strings != nil && s.SeenCnt >= c.Lab.K {
+			failed := false
+			split := LevelSplit(c.N)
+			for j := 0; j < c.Strings.Levels(); j++ {
+				if c.Strings.Roots[j] == hierarchy.RootsNone {
+					continue
+				}
+				if c.Top != (j >= split) {
+					continue
+				}
+				if s.CovMask&(1<<uint(j)) == 0 {
+					failed = true
+				}
+			}
+			s.Alarm = failed
+		}
+		s.CovMask = 0
+		s.SeenCnt = 0
+		s.CovValid = true
+	}
+	s.LastPos = nd.Pos
+	s.SeenCnt++
+	member := c.flagOrLevelMember(nd)
+	if member && nd.P.ID.Level >= 0 && nd.P.ID.Level < 64 {
+		s.CovMask |= 1 << uint(nd.P.ID.Level)
+	}
+}
+
+func (c *Ctx) flagOrLevelMember(d Down) bool {
+	return Member(d, c.Strings, c.Top, c.N)
+}

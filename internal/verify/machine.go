@@ -1,0 +1,373 @@
+package verify
+
+import (
+	"ssmst/internal/bits"
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+	"ssmst/internal/labeling"
+	"ssmst/internal/runtime"
+	"ssmst/internal/train"
+)
+
+// Mode selects the comparison protocol: the synchronous opportunistic
+// sampler of §7.2.1 or the asynchronous Want-based handshake of §7.2.2.
+type Mode int
+
+// The two network models.
+const (
+	Sync Mode = iota
+	Async
+)
+
+// VState is the register content of one verifier node: the component
+// (parent pointer — the structure under verification), the label block,
+// the two train states, and the sampler.
+type VState struct {
+	MyID       graph.NodeID
+	ParentPort int // the component c(v): -1 claims root
+	L          *NodeLabels
+
+	TopS train.State
+	BotS train.State
+
+	// Ask/Show sampler (§7.2). Show is the trains' Down buffers.
+	AskIdx    int // index into the node's level list J(v)
+	AskValid  bool
+	AskPiece  hierarchy.Piece
+	AskTimer  int
+	CapTimer  int
+	ServerCur int // asynchronous mode: round-robin server cursor
+	ServerTmr int
+	Want      train.Want
+
+	AlarmFlag bool // recomputed every round: the verifier's "no" output
+	// AlarmCode records which layer raised the current alarm (AlarmNone when
+	// quiet); exposed for experiments and diagnostics.
+	AlarmCode AlarmCode
+}
+
+// AlarmCode identifies the verifier layer that raised an alarm.
+type AlarmCode uint8
+
+// Alarm attribution codes.
+const (
+	AlarmNone AlarmCode = iota
+	AlarmNeighbour
+	AlarmSP
+	AlarmSize
+	AlarmStrings
+	AlarmTrainLabels
+	AlarmCoverageStatic
+	AlarmTrainCycle
+	AlarmSampler
+)
+
+func (c AlarmCode) String() string {
+	names := []string{"none", "neighbour", "sp", "size", "strings", "trainlabels", "coverage", "traincycle", "sampler"}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return "?"
+}
+
+// Alarm implements runtime.Alarmer.
+func (s *VState) Alarm() bool { return s.AlarmFlag }
+
+// Clone returns a deep copy.
+func (s *VState) Clone() runtime.State {
+	c := *s
+	c.L = s.L.Clone()
+	return &c
+}
+
+// BitSize measures the node's full memory: labels, trains and sampler.
+func (s *VState) BitSize() int {
+	return bits.Sum(
+		bits.ForInt(int64(s.MyID)),
+		bits.ForInt(int64(s.ParentPort)),
+		s.L.BitSize(),
+		s.TopS.BitSize(),
+		s.BotS.BitSize(),
+		bits.ForInt(int64(s.AskIdx)),
+		1,
+		pieceSize(s.AskPiece),
+		bits.ForInt(int64(s.AskTimer)),
+		bits.ForInt(int64(s.CapTimer)),
+		bits.ForInt(int64(s.ServerCur)),
+		bits.ForInt(int64(s.ServerTmr)),
+		1, bits.ForInt(int64(s.Want.ServerID)), bits.ForInt(int64(s.Want.Level)),
+		1,
+	)
+}
+
+func pieceSize(p hierarchy.Piece) int {
+	w := 1
+	if p.W != hierarchy.NoOutWeight {
+		w = bits.ForInt(int64(p.W))
+	}
+	return bits.ForInt(int64(p.ID.RootID)) + bits.ForInt(int64(p.ID.Level)) + w
+}
+
+var (
+	_ runtime.Machine = (*Machine)(nil)
+	_ runtime.Alarmer = (*VState)(nil)
+)
+
+// NodeView is the window one verifier step needs; the self-stabilizing
+// transformer of internal/selfstab adapts its own composite state to it.
+type NodeView interface {
+	Degree() int
+	Weight(port int) graph.Weight
+	PeerPort(q int) int
+	Self() *VState
+	// Neighbour returns the neighbour's verifier state, nil if that node is
+	// not currently running the verifier.
+	Neighbour(port int) *VState
+}
+
+// Machine is the verifier register program.
+type Machine struct {
+	Mode    Mode
+	Labeled *Labeled // consumed by Init only
+}
+
+// runtimeView adapts runtime.View to NodeView.
+type runtimeView struct{ v *runtime.View }
+
+func (a runtimeView) Degree() int                  { return a.v.Degree() }
+func (a runtimeView) Weight(port int) graph.Weight { return a.v.Weight(port) }
+func (a runtimeView) PeerPort(q int) int           { return a.v.PeerPort(q) }
+func (a runtimeView) Self() *VState                { return a.v.Self().(*VState) }
+func (a runtimeView) Neighbour(port int) *VState {
+	if st, ok := a.v.Neighbour(port).(*VState); ok {
+		return st
+	}
+	return nil
+}
+
+// Init installs the marker's labels and the component structure.
+func (m *Machine) Init(v *runtime.View) runtime.State {
+	node := v.Node()
+	pp := -1
+	if p := m.Labeled.Tree.Parent[node]; p >= 0 {
+		pp = m.Labeled.G.PortTo(node, p)
+	}
+	return &VState{
+		MyID:       v.ID(),
+		ParentPort: pp,
+		L:          m.Labeled.Labels[node].Clone(),
+	}
+}
+
+// Step implements runtime.Machine for standalone verification runs.
+func (m *Machine) Step(v *runtime.View) runtime.State { return m.StepCore(runtimeView{v}) }
+
+// StepCore runs one verifier round at one node.
+func (m *Machine) StepCore(v NodeView) *VState {
+	old := v.Self()
+	s := old.Clone().(*VState)
+	alarm := false
+	code := AlarmNone
+	setAlarm := func(c AlarmCode) {
+		alarm = true
+		if code == AlarmNone {
+			code = c
+		}
+	}
+
+	n := s.L.Size.N
+	if n < 2 {
+		s.AlarmFlag = true
+		s.AlarmCode = AlarmSize
+		return s
+	}
+	deg := v.Degree()
+
+	// ---- Derive tree relations from the components. ----
+	nbs := make([]nbList, deg)
+	for q := 0; q < deg; q++ {
+		st := v.Neighbour(q)
+		if st == nil || st.L == nil {
+			nbs[q] = nbList{}
+			setAlarm(AlarmNeighbour) // a neighbour is not running the verifier
+			continue
+		}
+		nbs[q] = nbList{st: st, ok: true, isChild: st.ParentPort == v.PeerPort(q)}
+	}
+	isRoot := s.ParentPort < 0
+	var parent *VState
+	if !isRoot {
+		if s.ParentPort >= deg {
+			s.ParentPort = -1 // corrupted port: claim root; SP checks will object
+			isRoot = true
+		} else if nbs[s.ParentPort].ok {
+			parent = nbs[s.ParentPort].st
+		}
+	}
+
+	// ---- Layer 1: SP + NumK. ----
+	var parentSP *labeling.SPLabel
+	var allSP []*labeling.SPLabel
+	var allSize, childSize []*labeling.SizeLabel
+	for q := 0; q < deg; q++ {
+		if !nbs[q].ok {
+			continue
+		}
+		allSP = append(allSP, &nbs[q].st.L.SP)
+		allSize = append(allSize, &nbs[q].st.L.Size)
+		if nbs[q].isChild {
+			childSize = append(childSize, &nbs[q].st.L.Size)
+		}
+	}
+	if parent != nil {
+		parentSP = &parent.L.SP
+	}
+	if err := labeling.CheckSP(&s.L.SP, s.MyID, parentSP, allSP); err != nil {
+		setAlarm(AlarmSP)
+	}
+	if err := labeling.CheckSize(&s.L.Size, isRoot, childSize, allSize); err != nil {
+		setAlarm(AlarmSize)
+	}
+
+	// ---- Layer 2: hierarchy strings (RS/EPS/Or_EndP). ----
+	lv := &hierarchy.LocalView{
+		Ell:        labeling.Ell(n),
+		IsTreeRoot: isRoot,
+		Own:        &s.L.HS,
+	}
+	if parent != nil {
+		lv.Parent = &parent.L.HS
+	}
+	for q := 0; q < deg; q++ {
+		if nbs[q].ok && nbs[q].isChild {
+			lv.Children = append(lv.Children, &nbs[q].st.L.HS)
+		}
+	}
+	if len(hierarchy.CheckLocal(lv)) > 0 {
+		setAlarm(AlarmStrings)
+	}
+
+	// ---- Layer 3: train position labels. ----
+	var tnbs []train.NeighbourLabels
+	for q := 0; q < deg; q++ {
+		if !nbs[q].ok {
+			continue
+		}
+		tnbs = append(tnbs, train.NeighbourLabels{
+			IsParent: parent != nil && q == s.ParentPort,
+			IsChild:  nbs[q].isChild,
+			Port:     q,
+			L:        &nbs[q].st.L.Train,
+		})
+	}
+	if err := train.CheckLabels(&s.L.Train, s.MyID, isRoot, n, tnbs); err != nil {
+		setAlarm(AlarmTrainLabels)
+	}
+
+	// ---- Layer 4: the trains. ----
+	topNeed, botNeed := train.NeededLevels(&s.L.HS, n)
+	if staticCoverageAlarm(&s.L.Train.Top, &s.TopS, topNeed, &s.L.HS, true, n) {
+		setAlarm(AlarmCoverageStatic)
+	}
+	if staticCoverageAlarm(&s.L.Train.Bottom, &s.BotS, botNeed, &s.L.HS, false, n) {
+		setAlarm(AlarmCoverageStatic)
+	}
+	s.TopS = *train.Step(&old.TopS, m.trainCtx(v, s, old, nbs, parent, true))
+	s.BotS = *train.Step(&old.BotS, m.trainCtx(v, s, old, nbs, parent, false))
+	if s.TopS.Alarm || s.BotS.Alarm {
+		setAlarm(AlarmTrainCycle)
+	}
+
+	// ---- Layer 5: the Ask/Show sampler with C1/C2 and piece equality. ----
+	samplerAlarm := false
+	m.sampler(v, s, nbs, n, &samplerAlarm)
+	if samplerAlarm {
+		setAlarm(AlarmSampler)
+	}
+
+	s.AlarmFlag = alarm
+	s.AlarmCode = code
+	return s
+}
+
+// staticCoverageAlarm handles the degenerate train sizes the wrap-based
+// cycle-set check cannot see: K = 0 with needed levels, K = 1 with more
+// than one needed level, or a K = 1 buffer showing the wrong piece.
+func staticCoverageAlarm(l *train.Labels, st *train.State, need []int, hs *hierarchy.Strings, top bool, n int) bool {
+	switch {
+	case l.K == 0:
+		return len(need) > 0
+	case l.K == 1:
+		if len(need) > 1 {
+			return true
+		}
+		if len(need) == 1 && st.Down.Valid {
+			if !train.Member(st.Down, hs, top, n) || st.Down.P.ID.Level != need[0] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// trainCtx assembles the train step context for one side.
+func (m *Machine) trainCtx(v NodeView, s *VState, old *VState, nbs []nbList, parent *VState, top bool) *train.Ctx {
+	ctx := &train.Ctx{
+		OwnID:   s.MyID,
+		Strings: &s.L.HS,
+		N:       s.L.Size.N,
+		Top:     top,
+	}
+	if top {
+		ctx.Lab = &s.L.Train.Top
+	} else {
+		ctx.Lab = &s.L.Train.Bottom
+	}
+	if parent != nil {
+		ctx.Parent = &train.PeerTrain{S: trainSide(parent, top), L: labelSide(parent, top)}
+	}
+	for q := range nbs {
+		if nbs[q].ok && nbs[q].isChild {
+			ctx.Children = append(ctx.Children, train.PeerTrain{
+				S: trainSide(nbs[q].st, top),
+				L: labelSide(nbs[q].st, top),
+			})
+		}
+	}
+	if m.Mode == Async {
+		ctx.Wanted = func(level int) bool {
+			for q := range nbs {
+				if nbs[q].ok {
+					w := nbs[q].st.Want
+					if w.Valid && w.ServerID == s.MyID && w.Level == level {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+	return ctx
+}
+
+// nbList mirrors the anonymous neighbour record of Step; declared here so
+// trainCtx and the sampler can share it.
+type nbList struct {
+	st      *VState
+	ok      bool
+	isChild bool
+}
+
+func trainSide(s *VState, top bool) *train.State {
+	if top {
+		return &s.TopS
+	}
+	return &s.BotS
+}
+
+func labelSide(s *VState, top bool) *train.Labels {
+	if top {
+		return &s.L.Train.Top
+	}
+	return &s.L.Train.Bottom
+}

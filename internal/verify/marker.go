@@ -1,0 +1,174 @@
+// Package verify implements the paper's primary contribution: the
+// self-stabilizing MST proof labeling scheme with O(log n) bits per node,
+// O(log² n) synchronous detection time (O(Δ log³ n) asynchronous),
+// O(f log n) detection distance and O(n) marker construction time
+// (Theorem 8.5).
+//
+// The marker (this file) composes every label layer:
+//
+//	SP + NumK (§2.6)  →  tree structure and the node count
+//	Roots/EndP/Parents/Or_EndP (§5)  →  hierarchy + candidate function
+//	partition labels + DFS piece placement (§6)
+//	train position labels (§7)
+//
+// The verifier (machine.go) runs, at every node in every round: the local
+// 1-proof checks of all layers, the two trains, and the Ask/Show sampling
+// protocol with the minimality checks C1/C2 and the tree-edge piece
+// equality check (§8).
+package verify
+
+import (
+	"fmt"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+	"ssmst/internal/labeling"
+	"ssmst/internal/partition"
+	"ssmst/internal/syncmst"
+	"ssmst/internal/train"
+)
+
+// NodeLabels is the complete per-node label block of the scheme. Its
+// measured size is O(log n) bits (experiment E7).
+type NodeLabels struct {
+	SP    labeling.SPLabel
+	Size  labeling.SizeLabel
+	HS    hierarchy.Strings
+	Train train.NodeLabels
+}
+
+// BitSize measures the whole label block.
+func (l *NodeLabels) BitSize() int {
+	return l.SP.BitSize() + l.Size.BitSize() + l.HS.BitSize() + l.Train.BitSize()
+}
+
+// Clone returns a deep copy.
+func (l *NodeLabels) Clone() *NodeLabels {
+	return &NodeLabels{
+		SP:    l.SP,
+		Size:  l.Size,
+		HS:    *l.HS.Clone(),
+		Train: *l.Train.Clone(),
+	}
+}
+
+// Labeled is a fully marked instance: the subject tree (the components) and
+// every node's labels.
+type Labeled struct {
+	G      *graph.Graph
+	Tree   *graph.Tree
+	H      *hierarchy.Hierarchy
+	Parts  *partition.Partitions
+	Labels []NodeLabels
+	// ConstructionTime is the simulated ideal time of the distributed
+	// marker: the SYNC_MST run plus the multi-wave label assignment
+	// (Corollary 6.11; O(n)).
+	ConstructionTime int
+}
+
+// Mark runs the full marker on a graph: construct the MST with SYNC_MST,
+// slice it into the hierarchy, build partitions, place pieces, and emit
+// every label layer.
+func Mark(g *graph.Graph) (*Labeled, error) {
+	res, err := syncmst.Simulate(g)
+	if err != nil {
+		return nil, fmt.Errorf("verify: construction: %w", err)
+	}
+	return markHierarchy(g, res.Tree, res.Hierarchy, res.Rounds)
+}
+
+// MarkTree labels an arbitrary spanning tree of g (not necessarily an MST):
+// the hierarchy is built by merging fragments over their minimum-weight
+// outgoing tree edges, which is what an honest marker constrained to the
+// given tree would produce. Verification of the result must reject unless
+// the tree is an MST. overrideOmega selects what the pieces claim as ω̂(F):
+// the true minimum outgoing weight in G (false — C1 then catches non-MSTs)
+// or the candidate's own weight (true — C2 then catches them).
+func MarkTree(g *graph.Graph, treeEdges []int, overrideOmega bool) (*Labeled, error) {
+	// Simulate fragment merging on the tree alone: a tree is its own MST,
+	// so SYNC_MST on the tree-only graph yields this exact tree plus a
+	// well-formed hierarchy whose candidates are tree edges.
+	tg := graph.New(g.N(), idsOf(g))
+	for _, e := range treeEdges {
+		ed := g.Edge(e)
+		if _, err := tg.AddEdge(ed.U, ed.V, ed.W); err != nil {
+			return nil, fmt.Errorf("verify: tree graph: %w", err)
+		}
+	}
+	res, err := syncmst.Simulate(tg)
+	if err != nil {
+		return nil, fmt.Errorf("verify: tree construction: %w", err)
+	}
+	// Rebuild the hierarchy over the full graph (edge ids differ).
+	tree, err := graph.TreeFromEdges(g, treeEdges, res.Tree.Root)
+	if err != nil {
+		return nil, err
+	}
+	var raws []hierarchy.RawFragment
+	for i := range res.Hierarchy.Frags {
+		f := &res.Hierarchy.Frags[i]
+		cand := -1
+		if f.Cand >= 0 {
+			ed := tg.Edge(f.Cand)
+			cand = g.EdgeBetween(ed.U, ed.V)
+		}
+		raws = append(raws, hierarchy.RawFragment{
+			Nodes: append([]int(nil), f.Nodes...),
+			Cand:  cand,
+		})
+	}
+	h, err := hierarchy.Build(tree, raws)
+	if err != nil {
+		return nil, fmt.Errorf("verify: tree hierarchy: %w", err)
+	}
+	if overrideOmega {
+		for i := range h.Frags {
+			if h.Frags[i].Cand >= 0 {
+				h.Frags[i].MinOutW = g.Edge(h.Frags[i].Cand).W
+			}
+		}
+	}
+	return markHierarchy(g, tree, h, res.Rounds)
+}
+
+func idsOf(g *graph.Graph) []graph.NodeID {
+	ids := make([]graph.NodeID, g.N())
+	for v := range ids {
+		ids[v] = g.ID(v)
+	}
+	return ids
+}
+
+func markHierarchy(g *graph.Graph, tree *graph.Tree, h *hierarchy.Hierarchy, rounds int) (*Labeled, error) {
+	parts, err := partition.Compute(h)
+	if err != nil {
+		return nil, fmt.Errorf("verify: partitions: %w", err)
+	}
+	sp := labeling.MarkSP(tree)
+	size := labeling.MarkSize(tree)
+	ss := hierarchy.MarkStrings(h)
+	tl := train.Mark(parts)
+	labels := make([]NodeLabels, g.N())
+	for v := 0; v < g.N(); v++ {
+		labels[v] = NodeLabels{SP: sp[v], Size: size[v], HS: ss[v], Train: tl[v]}
+	}
+	return &Labeled{
+		G:                g,
+		Tree:             tree,
+		H:                h,
+		Parts:            parts,
+		Labels:           labels,
+		ConstructionTime: partition.MarkerTime(h, rounds, parts),
+	}, nil
+}
+
+// MaxLabelBits returns the largest label block over all nodes.
+func (l *Labeled) MaxLabelBits() int {
+	max := 0
+	for v := range l.Labels {
+		if b := l.Labels[v].BitSize(); b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,212 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+	"ssmst/internal/runtime"
+	"ssmst/internal/train"
+)
+
+// Runner drives the verifier over an engine and provides fault injection
+// and detection measurement (experiments E3–E5).
+type Runner struct {
+	Labeled *Labeled
+	Machine *Machine
+	Eng     *runtime.Engine
+	Async   bool
+}
+
+// NewRunner builds an engine with the marker's labels installed.
+func NewRunner(l *Labeled, mode Mode, seed int64) *Runner {
+	m := &Machine{Mode: mode, Labeled: l}
+	eng := runtime.New(l.G, m, seed)
+	return &Runner{Labeled: l, Machine: m, Eng: eng, Async: mode == Async}
+}
+
+// DetectionBudget bounds the detection time promised by Theorem 8.5 for a
+// correct-label instance of n nodes: a full Ask sweep (levels × dwell) plus
+// train stabilization, with slack. Synchronous shape: O(log² n).
+func DetectionBudget(n int) int {
+	lam := train.LambdaThreshold(n)
+	levels := 1
+	for 1<<uint(levels) <= n {
+		levels++
+	}
+	return 4 * levels * (2*(8*(10*lam)+24) + 16)
+}
+
+// Step advances one time unit.
+func (r *Runner) Step() { r.Eng.Step(r.Async) }
+
+// RunQuiet runs for the given number of rounds and returns an error on the
+// first alarm (used to establish false-alarm freedom on correct instances).
+func (r *Runner) RunQuiet(rounds int) error {
+	for i := 0; i < rounds; i++ {
+		r.Step()
+		if v, bad := r.Eng.AnyAlarm(); bad {
+			return fmt.Errorf("verify: false alarm at node %d after %d rounds", v, i+1)
+		}
+	}
+	return nil
+}
+
+// RunUntilAlarm steps until some node alarms, returning the rounds taken
+// and the alarming nodes.
+func (r *Runner) RunUntilAlarm(maxRounds int) (int, []int, bool) {
+	for i := 0; i < maxRounds; i++ {
+		r.Step()
+		if nodes := r.Eng.AlarmNodes(); len(nodes) > 0 {
+			return i + 1, nodes, true
+		}
+	}
+	return maxRounds, nil, false
+}
+
+// RunUntilQuiet steps until no node alarms for calm consecutive rounds
+// (recovery after transient faults on a correct instance).
+func (r *Runner) RunUntilQuiet(maxRounds, calm int) (int, bool) {
+	quiet := 0
+	for i := 0; i < maxRounds; i++ {
+		r.Step()
+		if _, bad := r.Eng.AnyAlarm(); bad {
+			quiet = 0
+		} else {
+			quiet++
+			if quiet >= calm {
+				return i + 1, true
+			}
+		}
+	}
+	return maxRounds, false
+}
+
+// Inject applies a state mutation at node v (a fault).
+func (r *Runner) Inject(v int, f func(*VState)) {
+	r.Eng.Corrupt(v, func(s runtime.State) runtime.State {
+		vs := s.(*VState)
+		f(vs)
+		return vs
+	})
+}
+
+// Fault kinds used by experiments and tests.
+type FaultKind int
+
+// The fault menu: each corrupts a different label/state layer.
+const (
+	FaultStoredPieceW FaultKind = iota // lower a stored piece's ω̂
+	FaultStoredPieceID
+	FaultRootsEntry // flip a Roots string entry
+	FaultEndPEntry
+	FaultSPDist
+	FaultSizeN
+	FaultComponent // re-point the parent pointer (changes H(G))
+	FaultTrainDyn  // scramble dynamic train state (transient)
+	numFaultKinds
+)
+
+// NumFaultKinds is the size of the fault menu.
+const NumFaultKinds = int(numFaultKinds)
+
+// InjectKind applies the given fault kind at node v, using rng for the
+// specifics. It reports whether the fault actually changed something.
+func (r *Runner) InjectKind(v int, kind FaultKind, rng *rand.Rand) bool {
+	changed := false
+	r.Inject(v, func(s *VState) {
+		switch kind {
+		case FaultStoredPieceW:
+			// Prefer bottom pieces: every bottom-stored piece's fragment is
+			// contained in its part, so the corruption is always observable.
+			// (A corrupted top replica in a part disjoint from its fragment
+			// leaves the configuration a valid proof of a true statement —
+			// the scheme rightly keeps accepting.)
+			for _, lab := range []*train.Labels{&s.L.Train.Bottom, &s.L.Train.Top} {
+				for i := range lab.Stored {
+					if lab.Stored[i].W != hierarchy.NoOutWeight {
+						lab.Stored[i].W += graph.Weight(1 + rng.Intn(5))
+						changed = true
+						return
+					}
+				}
+			}
+		case FaultStoredPieceID:
+			for _, lab := range []*train.Labels{&s.L.Train.Bottom, &s.L.Train.Top} {
+				if len(lab.Stored) > 0 {
+					lab.Stored[0].ID.RootID += graph.NodeID(1 + rng.Intn(1000))
+					changed = true
+					return
+				}
+			}
+		case FaultRootsEntry:
+			if len(s.L.HS.Roots) > 0 {
+				j := rng.Intn(len(s.L.HS.Roots))
+				old := s.L.HS.Roots[j]
+				for _, sym := range []byte{hierarchy.RootsYes, hierarchy.RootsNo, hierarchy.RootsNone} {
+					if sym != old {
+						s.L.HS.Roots[j] = sym
+						changed = true
+						return
+					}
+				}
+			}
+		case FaultEndPEntry:
+			if len(s.L.HS.EndP) > 0 {
+				j := rng.Intn(len(s.L.HS.EndP))
+				old := s.L.HS.EndP[j]
+				for _, sym := range []byte{hierarchy.EndPUp, hierarchy.EndPDown, hierarchy.EndPNone, hierarchy.EndPStar} {
+					if sym != old {
+						s.L.HS.EndP[j] = sym
+						changed = true
+						return
+					}
+				}
+			}
+		case FaultSPDist:
+			s.L.SP.Dist += 1 + rng.Intn(3)
+			changed = true
+		case FaultSizeN:
+			s.L.Size.N += 1 + rng.Intn(3)
+			changed = true
+		case FaultComponent:
+			deg := len(r.Labeled.G.Ports(v))
+			if deg > 0 {
+				old := s.ParentPort
+				s.ParentPort = (old + 1 + rng.Intn(deg)) % deg
+				changed = s.ParentPort != old
+			}
+		case FaultTrainDyn:
+			for _, ts := range []*train.State{&s.TopS, &s.BotS} {
+				ts.UpNext = rng.Intn(16)
+				ts.Up.Valid = rng.Intn(2) == 0
+				ts.Up.Pos = rng.Intn(16)
+				ts.Down.Valid = rng.Intn(2) == 0
+				ts.Down.Pos = rng.Intn(16)
+				ts.Down.P.ID.Level = rng.Intn(8)
+				ts.CovMask = rng.Uint64()
+				ts.LastPos = rng.Intn(16)
+			}
+			changed = true
+		}
+	})
+	return changed
+}
+
+// DetectionDistance returns, for each fault location, the hop distance to
+// the nearest alarming node (Theorem 8.5: O(f log n)).
+func DetectionDistance(g *graph.Graph, faults, alarms []int) []int {
+	out := make([]int, len(faults))
+	for i, f := range faults {
+		dist := g.BFSDistances(f)
+		best := -1
+		for _, a := range alarms {
+			if d := dist[a]; d >= 0 && (best < 0 || d < best) {
+				best = d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

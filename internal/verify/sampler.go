@@ -1,0 +1,242 @@
+package verify
+
+import (
+	"ssmst/internal/hierarchy"
+	"ssmst/internal/train"
+)
+
+// This file implements the Ask/Show comparison protocol of §7.2 and the
+// minimality checks of §8.
+//
+// The node sweeps a cursor through J(v), the levels of fragments containing
+// it. For the current level j it captures I(Fj(v)) from its own train into
+// Ask, then — for a dwell window long enough for every neighbour's train to
+// complete a cycle — compares against what neighbours Show (their broadcast
+// buffers):
+//
+//	C1: if v is the endpoint of the candidate edge of Fj(v), that edge
+//	    must lead outside the fragment and weigh exactly ω̂(Fj(v)).
+//	C2: every edge leaving Fj(v) weighs at least ω̂(Fj(v)).
+//	EQ: a neighbour claiming the same fragment must show the identical
+//	    piece (Claim 8.3 — anchors ω̂ and the identifier fragment-wide).
+//
+// In synchronous networks the comparison is opportunistic against all
+// neighbours simultaneously (§7.2.1); in asynchronous networks a round-robin
+// server cursor with the Want register prevents pieces from flying past
+// between activations (§7.2.2).
+
+// sampler advances the Ask/Show machinery by one step and feeds the alarm.
+func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, n int, alarm *bool) {
+	levels := claimedLevels(&s.L.HS)
+	if len(levels) == 0 {
+		s.AskValid = false
+		return
+	}
+	if s.AskIdx < 0 || s.AskIdx >= len(levels) {
+		s.AskIdx = 0
+	}
+	// The dwell window covers two worst-case train cycles of this node and
+	// of every neighbour, computed from the verified position labels
+	// (corrupted labels are caught by the label checks regardless).
+	window := dwellWindow(s, nbs)
+	j := levels[s.AskIdx]
+
+	if !s.AskValid {
+		// Capture I(Fj(v)) from the node's own train.
+		side := topSide(j, n)
+		d := trainSide(s, side).Down
+		if train.Member(d, &s.L.HS, side, n) && d.P.ID.Level == j {
+			// §8 root identity check: the fragment root's piece must carry
+			// its own identity.
+			if s.L.HS.Roots[j] == hierarchy.RootsYes && d.P.ID.RootID != s.MyID {
+				*alarm = true
+			}
+			s.AskPiece = d.P
+			s.AskValid = true
+			s.AskTimer = window
+			s.CapTimer = 0
+			s.ServerCur = 0
+			s.ServerTmr = 0
+			s.Want = train.Want{}
+		} else {
+			s.CapTimer++
+			if s.CapTimer > window {
+				// The train never delivered the piece: its own cycle-set
+				// check raises the alarm; move on so other levels are
+				// still exercised.
+				s.CapTimer = 0
+				s.AskIdx = (s.AskIdx + 1) % len(levels)
+			}
+			return
+		}
+	}
+
+	if m.Mode == Sync {
+		for q := 0; q < v.Degree(); q++ {
+			if nbs[q].ok {
+				m.compare(v, s, nbs, q, alarm)
+			}
+		}
+		s.AskTimer--
+		if s.AskTimer <= 0 {
+			s.advanceLevel(len(levels))
+		}
+		return
+	}
+
+	// Asynchronous mode: serve one neighbour at a time.
+	deg := v.Degree()
+	if deg == 0 {
+		s.advanceLevel(len(levels))
+		return
+	}
+	if s.ServerCur >= deg {
+		s.advanceLevel(len(levels))
+		return
+	}
+	q := s.ServerCur
+	served := true
+	if nbs[q].ok {
+		served = m.compare(v, s, nbs, q, alarm)
+	}
+	if served {
+		s.ServerCur++
+		s.ServerTmr = 0
+		s.Want = train.Want{}
+		if s.ServerCur >= deg {
+			s.advanceLevel(len(levels))
+		}
+		return
+	}
+	// File a request at the server (§7.2.2) and wait, bounded.
+	s.Want = train.Want{Valid: true, ServerID: nbs[q].st.MyID, Level: s.AskPiece.ID.Level}
+	s.ServerTmr++
+	if s.ServerTmr > 2*window {
+		// The server's train never showed the piece; the server's own part
+		// raises the alarm. Move on.
+		s.ServerCur++
+		s.ServerTmr = 0
+		s.Want = train.Want{}
+		if s.ServerCur >= deg {
+			s.advanceLevel(len(levels))
+		}
+	}
+}
+
+func (s *VState) advanceLevel(numLevels int) {
+	s.AskValid = false
+	s.AskIdx = (s.AskIdx + 1) % numLevels
+	s.CapTimer = 0
+	s.ServerCur = 0
+	s.ServerTmr = 0
+	s.Want = train.Want{}
+}
+
+// compare runs the level-j checks against the neighbour at port q. It
+// returns true when the comparison is complete (the event E(v,u,j) of §7.2
+// occurred or needs no piece), false when v must keep waiting for u's train.
+func (m *Machine) compare(v NodeView, s *VState, nbs []nbList, q int, alarm *bool) bool {
+	u := nbs[q].st
+	j := s.AskPiece.ID.Level
+	n := s.L.Size.N
+	w := v.Weight(q)
+	isCand := candidatePort(s, nbs, j) == q
+
+	uClaims := j >= 0 && j < u.L.HS.Levels() && u.L.HS.Roots[j] != hierarchy.RootsNone
+	if !uClaims {
+		// u is in no level-j fragment: the edge leaves Fj(v).
+		if w < s.AskPiece.W {
+			*alarm = true // C2
+		}
+		if isCand && w != s.AskPiece.W {
+			*alarm = true // C1
+		}
+		return true
+	}
+	side := topSide(j, n)
+	d := trainSide(u, side).Down
+	if !train.Member(d, &u.L.HS, side, n) || d.P.ID.Level != j {
+		return false // u's piece not visible yet
+	}
+	theirs := d.P
+	if theirs.ID == s.AskPiece.ID {
+		// Same fragment: pieces must agree in full (EQ), and the candidate
+		// edge must not be internal (C1).
+		if theirs != s.AskPiece {
+			*alarm = true
+		}
+		if isCand {
+			*alarm = true
+		}
+		return true
+	}
+	// Different fragments: the edge is outgoing.
+	if w < s.AskPiece.W {
+		*alarm = true // C2
+	}
+	if isCand && w != s.AskPiece.W {
+		*alarm = true // C1
+	}
+	return true
+}
+
+// candidatePort returns the port of the candidate edge of Fj(v) if v is its
+// inside endpoint (-1 otherwise), per the EndP/Parents conventions: "up"
+// points at the tree parent, "down" at the unique child with Parents[j].
+func candidatePort(s *VState, nbs []nbList, j int) int {
+	if j < 0 || j >= s.L.HS.Levels() {
+		return -1
+	}
+	switch s.L.HS.EndP[j] {
+	case hierarchy.EndPUp:
+		return s.ParentPort
+	case hierarchy.EndPDown:
+		for q := range nbs {
+			if nbs[q].ok && nbs[q].isChild {
+				hs := &nbs[q].st.L.HS
+				if j < len(hs.Parents) && hs.Parents[j] {
+					return q
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// dwellWindow returns the Ask dwell time: two cycle budgets of the slowest
+// train among this node and its neighbours, plus slack.
+func dwellWindow(s *VState, nbs []nbList) int {
+	b := trainBudget(&s.L.Train)
+	for q := range nbs {
+		if nbs[q].ok {
+			if nb := trainBudget(&nbs[q].st.L.Train); nb > b {
+				b = nb
+			}
+		}
+	}
+	return 2*b + 16
+}
+
+func trainBudget(nl *train.NodeLabels) int {
+	top := 8*(nl.Top.K+nl.Top.DiamBound) + 24
+	bot := 8*(nl.Bottom.K+nl.Bottom.DiamBound) + 24
+	if top > bot {
+		return top
+	}
+	return bot
+}
+
+// claimedLevels lists J(v): the levels at which the strings claim a
+// fragment containing the node.
+func claimedLevels(hs *hierarchy.Strings) []int {
+	var out []int
+	for j := 0; j < hs.Levels(); j++ {
+		if hs.Roots[j] != hierarchy.RootsNone {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// topSide reports whether level j rides the top train (the §8 delimiter).
+func topSide(j, n int) bool { return j >= train.LevelSplit(n) }

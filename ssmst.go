@@ -1,0 +1,138 @@
+// Package ssmst is a from-scratch Go reproduction of Korman, Kutten and
+// Masuzawa, "Fast and compact self-stabilizing verification, computation,
+// and fault detection of an MST" (PODC 2011 / Distributed Computing 2015).
+//
+// It provides:
+//
+//   - SYNC_MST (§4): a synchronous O(n)-time, O(log n)-bit distributed MST
+//     construction (ConstructMST).
+//   - The O(log n)-bit MST proof labeling scheme with O(log² n) synchronous
+//     detection time (Mark / NewVerifier) — the paper's primary result.
+//   - The self-stabilizing MST construction with O(log n) bits and O(n)
+//     stabilization time (NewSelfStabilizing) — the second main result.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// measured reproduction of every table and figure.
+package ssmst
+
+import (
+	"ssmst/internal/graph"
+	"ssmst/internal/selfstab"
+	"ssmst/internal/syncmst"
+	"ssmst/internal/verify"
+)
+
+// Graph is an undirected edge-weighted network with unique node identities
+// and per-node port numbering (§2.1).
+type Graph = graph.Graph
+
+// Labeled is a fully marked instance: the spanning tree under verification
+// plus every node's O(log n)-bit proof labels.
+type Labeled = verify.Labeled
+
+// Verifier drives the distributed verification scheme over a simulated
+// network, with fault injection and detection measurement.
+type Verifier = verify.Runner
+
+// SelfStabilizing drives the self-stabilizing MST construction.
+type SelfStabilizing = selfstab.Runner
+
+// Mode selects the network model for verification.
+type Mode = verify.Mode
+
+// The two network models of the paper (§2.1).
+const (
+	Sync  = verify.Sync
+	Async = verify.Async
+)
+
+// RandomGraph generates a connected random graph with n nodes, m edges,
+// scrambled unique identities and distinct weights.
+func RandomGraph(n, m int, seed int64) *Graph {
+	return graph.RandomConnected(n, m, seed)
+}
+
+// ConstructMST runs SYNC_MST (§4) and returns the MST edges and the
+// synchronous round count (O(n)).
+func ConstructMST(g *Graph) (edges []int, rounds int, err error) {
+	res, err := syncmst.Simulate(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Tree.EdgeSet(), res.Rounds, nil
+}
+
+// Mark runs the full marker (§5–6): construct the MST and assign every
+// label layer. The construction time field reports the simulated O(n)
+// distributed marker time.
+func Mark(g *Graph) (*Labeled, error) { return verify.Mark(g) }
+
+// MarkTree labels an arbitrary spanning tree (not necessarily minimal);
+// verification rejects unless it is an MST.
+func MarkTree(g *Graph, treeEdges []int) (*Labeled, error) {
+	return verify.MarkTree(g, treeEdges, false)
+}
+
+// NewVerifier builds a verification run over the labeled instance.
+func NewVerifier(l *Labeled, mode Mode, seed int64) *Verifier {
+	return verify.NewRunner(l, mode, seed)
+}
+
+// NewSelfStabilizing builds a self-stabilizing MST run; bound is the
+// polynomial upper bound on n assumed by the reset substrate.
+func NewSelfStabilizing(g *Graph, bound int, mode Mode, seed int64) *SelfStabilizing {
+	return selfstab.NewRunner(g, bound, mode, seed)
+}
+
+// IsMST reports whether the edge set is the minimum spanning tree of g.
+func IsMST(g *Graph, edges []int) bool {
+	return graph.IsMST(g, edges, graph.ByWeight(g))
+}
+
+// NormalizeWeights returns a copy of g whose weights are replaced by their
+// ranks under the ω′ order of Kor et al. (footnote 1 of the paper) for the
+// given candidate tree: distinct integers such that the candidate is an MST
+// of the normalized graph iff it is an MST of the original — the transform
+// that makes verification of graphs with duplicate weights sound (the
+// standard ID-only tie-break does not preserve this). Pass nil to normalize
+// for construction (no candidate; plain lexicographic tie-break).
+func NormalizeWeights(g *Graph, candidate []int) *Graph {
+	inTree := make(map[int]bool, len(candidate))
+	for _, e := range candidate {
+		inTree[e] = true
+	}
+	var order graph.EdgeOrder
+	if candidate == nil {
+		order = graph.ModifiedOrder(g, func(int) bool { return false })
+	} else {
+		order = graph.ModifiedOrder(g, func(e int) bool { return inTree[e] })
+	}
+	perm := make([]int, g.M())
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && order(perm[j], perm[j-1]); j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
+	out := graph.New(g.N(), nil)
+	// Preserve identities.
+	ids := make([]graph.NodeID, g.N())
+	for v := range ids {
+		ids[v] = g.ID(v)
+	}
+	out = graph.New(g.N(), ids)
+	rank := make([]graph.Weight, g.M())
+	for r, e := range perm {
+		rank[e] = graph.Weight(r + 1)
+	}
+	for e := 0; e < g.M(); e++ {
+		ed := g.Edge(e)
+		out.MustAddEdge(ed.U, ed.V, rank[e])
+	}
+	return out
+}
+
+// DetectionBudget bounds the detection time of Theorem 8.5 for n nodes.
+func DetectionBudget(n int) int { return verify.DetectionBudget(n) }

@@ -1,0 +1,51 @@
+package ssmst
+
+import "testing"
+
+func TestFacadePipeline(t *testing.T) {
+	g := RandomGraph(20, 50, 3)
+	edges, rounds, err := ConstructMST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMST(g, edges) {
+		t.Fatal("ConstructMST not minimal")
+	}
+	if rounds <= 0 || rounds > 44*g.N() {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(l, Sync, 1)
+	if err := v.RunQuiet(DetectionBudget(g.N()) / 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMarkTree(t *testing.T) {
+	g := RandomGraph(12, 28, 5)
+	edges, _, err := ConstructMST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := MarkTree(g, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.MaxLabelBits() <= 0 {
+		t.Fatal("no labels")
+	}
+}
+
+func TestFacadeSelfStabilizing(t *testing.T) {
+	g := RandomGraph(12, 30, 7)
+	r := NewSelfStabilizing(g, g.N(), Sync, 2)
+	if _, ok := r.RunUntilStable(r.StabilizationBudget()); !ok {
+		t.Fatal("did not stabilize")
+	}
+	if !r.OutputIsMST() {
+		t.Fatal("output not MST")
+	}
+}
