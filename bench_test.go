@@ -4,6 +4,7 @@
 package ssmst
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -19,6 +20,42 @@ import (
 	"ssmst/internal/train"
 	"ssmst/internal/verify"
 )
+
+// BenchmarkEngineScaling measures the double-buffered stepping engine at
+// growing n, serial vs pooled-parallel, for both the Clone-per-step path
+// and the zero-allocation InPlaceStepper path. Acceptance: at n=4096 the
+// in-place steady-state round loop reports 0 allocs/op, and on ≥4 cores
+// parallel is ≥2× faster than serial (see runtime.TestParallelSpeedup for
+// the asserted version; parallel/serial bit-equality is asserted by
+// runtime.TestParallelDeterminism).
+func BenchmarkEngineScaling(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		g := graph.RandomConnected(n, 3*n, 1)
+		for _, bc := range []struct {
+			name     string
+			parallel bool
+			machine  runtime.Machine
+		}{
+			{"serial", false, runtime.FloodMin{}},
+			{"parallel", true, runtime.FloodMin{}},
+			{"serial-clone", false, runtime.FloodMinClone{}},
+			{"parallel-clone", true, runtime.FloodMinClone{}},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, bc.name), func(b *testing.B) {
+				e := runtime.New(g, bc.machine, 1)
+				e.Parallel = bc.parallel
+				e.ParallelThreshold = 256
+				e.ForcePool = bc.parallel // measure the pool even on 1 core
+				e.RunSyncRounds(2)        // fill both buffers: steady state
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.StepSync()
+				}
+			})
+		}
+	}
+}
 
 // BenchmarkTable1SelfStabMST (E1): the self-stabilizing MST — this paper's
 // O(log n)-bits/O(n)-time point of Table 1.

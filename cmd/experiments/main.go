@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|distance|construction|memory|partitions|selfstab|lowerbound")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|distance|construction|memory|partitions|selfstab|lowerbound|enginescaling")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -44,6 +44,8 @@ func main() {
 		tables = append(tables, core.SelfStabilization([]int{16, 32}, *seed))
 	case "lowerbound":
 		tables = append(tables, core.LowerBound([]int{1, 2, 3}, *seed))
+	case "enginescaling":
+		tables = append(tables, core.EngineScaling([]int{1024, 4096, 16384, 65536}, 50, *seed))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -24,7 +24,15 @@ func main() {
 	fault := flag.String("fault", "", "inject a fault: piecew|pieceid|roots|endp|spdist|sizen|component")
 	async := flag.Bool("async", false, "asynchronous daemon")
 	selfstab := flag.Bool("selfstab", false, "run the self-stabilizing construction instead")
+	serial := flag.Bool("serial", false, "disable worker-pool fan-out for synchronous rounds")
+	workers := flag.Int("workers", 0, "cap pool workers per round (0: all); nonzero also forces pool engagement (-serial wins)")
 	flag.Parse()
+
+	tune := func(e *ssmst.Engine) {
+		e.Parallel = !*serial
+		e.Workers = *workers
+		e.ForcePool = *workers != 0
+	}
 
 	if *m == 0 {
 		*m = *n * 5 / 2
@@ -38,6 +46,7 @@ func main() {
 
 	if *selfstab {
 		r := ssmst.NewSelfStabilizing(g, g.N(), mode, *seed)
+		tune(r.Eng)
 		rounds, ok := r.RunUntilStable(2 * r.StabilizationBudget())
 		fmt.Printf("self-stabilizing MST: stabilized=%v in %d rounds, MST=%v, max bits/node=%d\n",
 			ok, rounds, r.OutputIsMST(), r.Eng.MaxStateBits())
@@ -56,6 +65,7 @@ func main() {
 	fmt.Printf("marker: %d rounds, max label bits=%d\n", labeled.ConstructionTime, labeled.MaxLabelBits())
 
 	v := ssmst.NewVerifier(labeled, mode, *seed)
+	tune(v.Eng)
 	budget := ssmst.DetectionBudget(g.N())
 	if *fault == "" {
 		if err := v.RunQuiet(budget); err != nil {

@@ -1,0 +1,20 @@
+// Engine scaling: how large an n the simulator sustains, and what one
+// synchronous round costs. The double-buffered engine allocates nothing in
+// its steady-state round loop (InPlaceStepper fast path) and fans rounds
+// out over a persistent worker pool, so the paper's asymptotics — O(log² n)
+// detection, O(n) stabilization — become empirically checkable at n in the
+// tens of thousands instead of toy sizes.
+//
+// This prints the same E14 table as `go run ./cmd/experiments -exp
+// enginescaling`, at example-friendly sizes.
+package main
+
+import (
+	"fmt"
+
+	"ssmst/internal/core"
+)
+
+func main() {
+	fmt.Println(core.EngineScaling([]int{4096, 16384, 65536}, 50, 1).Markdown())
+}

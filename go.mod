@@ -1,0 +1,3 @@
+module ssmst
+
+go 1.24

@@ -6,7 +6,9 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	gort "runtime"
 	"strings"
+	"time"
 
 	"ssmst/internal/ghs"
 	"ssmst/internal/graph"
@@ -14,6 +16,7 @@ import (
 	"ssmst/internal/labeling"
 	"ssmst/internal/lowerbound"
 	"ssmst/internal/partition"
+	"ssmst/internal/runtime"
 	"ssmst/internal/selfstab"
 	"ssmst/internal/syncmst"
 	"ssmst/internal/train"
@@ -378,6 +381,48 @@ func SelfStabilization(sizes []int, seed int64) *Table {
 	return t
 }
 
+// EngineScaling measures the stepping engine itself (experiment E14): ns
+// per synchronous round and allocations per round at growing n, serial vs
+// worker-pool parallel, on the zero-allocation FloodMin protocol. This is
+// the unit cost every detection/stabilization time multiplies, and the
+// knob that decides how large an n the paper's asymptotics can be checked
+// at empirically.
+func EngineScaling(sizes []int, rounds int, seed int64) *Table {
+	t := &Table{
+		Title:  "E14 — engine throughput: double-buffered rounds, serial vs parallel",
+		Header: []string{"n", "mode", "ns/round", "allocs/round", "B/round"},
+		Remarks: []string{
+			fmt.Sprintf("Worker pool: %d workers (GOMAXPROCS at first use); in-place fast path; steady state after warm-up.", runtime.PoolWorkers()),
+		},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 3*n, seed)
+		for _, par := range []bool{false, true} {
+			e := runtime.New(g, runtime.FloodMin{}, seed)
+			e.Parallel = par
+			e.ForcePool = par  // keep the row's label truthful on 1-core hosts
+			e.RunSyncRounds(2) // fill both buffers: steady state
+			var m0, m1 gort.MemStats
+			gort.ReadMemStats(&m0)
+			start := time.Now()
+			e.RunSyncRounds(rounds)
+			elapsed := time.Since(start)
+			gort.ReadMemStats(&m1)
+			mode := "serial"
+			if par {
+				mode = "parallel"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), mode,
+				fmt.Sprint(elapsed.Nanoseconds() / int64(rounds)),
+				fmt.Sprint((m1.Mallocs - m0.Mallocs) / uint64(rounds)),
+				fmt.Sprint((m1.TotalAlloc - m0.TotalAlloc) / uint64(rounds)),
+			})
+		}
+	}
+	return t
+}
+
 // LowerBound measures the §9 tradeoff: detection time on stretched
 // instances for growing τ, and the time × memory product (experiment E8).
 func LowerBound(taus []int, seed int64) *Table {
@@ -436,6 +481,7 @@ func All(seed int64) []*Table {
 		Partitions([]int{32, 128, 512}, seed),
 		SelfStabilization([]int{16, 32}, seed),
 		LowerBound([]int{1, 2, 3}, seed),
+		EngineScaling([]int{1024, 4096, 16384}, 50, seed),
 	}
 }
 

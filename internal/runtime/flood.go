@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"ssmst/internal/bits"
+	"ssmst/internal/graph"
+)
+
+// FloodMinState is the state of the engine-measurement protocol: the
+// smallest identity heard so far.
+type FloodMinState struct {
+	Min graph.NodeID
+}
+
+// BitSize implements bits.Sized.
+func (s *FloodMinState) BitSize() int { return bits.ForInt(int64(s.Min)) }
+
+// Clone implements State.
+func (s *FloodMinState) Clone() State { c := *s; return &c }
+
+// FloodMin is minimum-identity flooding: the simplest register protocol
+// that touches every neighbour state each round. It exists to measure the
+// engine itself — per-round overhead, allocations, parallel scaling — in
+// benchmarks, experiments, and examples, without the cost profile of any
+// particular paper algorithm. It implements the InPlaceStepper fast path,
+// so its steady-state round loop allocates nothing.
+type FloodMin struct{}
+
+// Init implements Machine.
+func (FloodMin) Init(v *View) State { return &FloodMinState{Min: v.ID()} }
+
+// Step implements Machine.
+func (m FloodMin) Step(v *View) State { return &FloodMinState{Min: m.nextMin(v)} }
+
+// StepInPlace implements InPlaceStepper, recycling the two-rounds-old state.
+func (m FloodMin) StepInPlace(v *View, scratch State) State {
+	s, ok := scratch.(*FloodMinState)
+	if !ok {
+		s = &FloodMinState{}
+	}
+	s.Min = m.nextMin(v)
+	return s
+}
+
+func (FloodMin) nextMin(v *View) graph.NodeID {
+	min := v.Self().(*FloodMinState).Min
+	for p := 0; p < v.Degree(); p++ {
+		if ns := v.Neighbour(p).(*FloodMinState); ns.Min < min {
+			min = ns.Min
+		}
+	}
+	return min
+}
+
+// FloodMinClone is FloodMin without the in-place fast path — the baseline
+// allocate-per-step cost. Delegation (not embedding) keeps StepInPlace out
+// of its method set.
+type FloodMinClone struct{}
+
+// Init implements Machine.
+func (FloodMinClone) Init(v *View) State { return FloodMin{}.Init(v) }
+
+// Step implements Machine.
+func (FloodMinClone) Step(v *View) State { return FloodMin{}.Step(v) }
+
+var (
+	_ Machine        = FloodMin{}
+	_ InPlaceStepper = FloodMin{}
+	_ Machine        = FloodMinClone{}
+)

@@ -21,12 +21,45 @@
 // starts from arbitrary states) and instruments rounds, activations, and the
 // maximum state size in bits, so the paper's complexity claims are measured
 // rather than asserted.
+//
+// # Execution core (see also DESIGN.md in this directory)
+//
+// Synchronous rounds are double-buffered: the engine owns two persistent
+// []State buffers and swaps them each round, so the steady-state round loop
+// performs no slice allocation. The buffer being written into holds the
+// states of two rounds ago; machines that implement InPlaceStepper receive
+// that stale state as scratch memory and can recycle it, making the round
+// loop allocation-free end to end.
+//
+// Invariant (read-previous-round): during round r every View reads only the
+// buffer finalized at round r-1. The write buffer is never visible through a
+// View, so parallel and serial stepping are bit-identical by construction —
+// each next-state is a pure function of (node, round, previous buffer).
+//
+// Parallel rounds are served by a package-level pool of persistent worker
+// goroutines sized by runtime.GOMAXPROCS(0) at first use. A round is
+// dispatched by handing the engine to the pool once per participating
+// worker; workers claim fixed-size index chunks off a shared atomic cursor
+// (dynamic load balancing, deterministic output: node i's next state does
+// not depend on which worker computes it). Each worker owns one reusable
+// View whose per-node PRNG is reseeded, not reallocated, per step.
+//
+// Instrumentation (max state bits, alarm and termination counts) is folded
+// into the step loop as per-worker partial reductions merged once per round,
+// so AnyAlarm, AllDone and MaxStateBits are O(1) in the common case instead
+// of O(n) interface-assertion scans per round.
+//
+// An Engine is not safe for concurrent use: Step* calls and state accessors
+// must be externally serialized. Distinct engines may step concurrently and
+// share the worker pool.
 package runtime
 
 import (
 	"fmt"
 	"math/rand"
+	gort "runtime"
 	"sync"
+	"sync/atomic"
 
 	"ssmst/internal/bits"
 	"ssmst/internal/graph"
@@ -54,12 +87,14 @@ type Terminator interface {
 
 // View is a stepping node's window onto the network: its own identity,
 // degree, incident edge weights, and the states of its neighbours. Neighbour
-// states are read-only; Step implementations must not mutate them.
+// states are read-only; Step implementations must not mutate them. Views are
+// reused across steps and must not be retained past the Step call.
 type View struct {
 	engine *Engine
 	node   int
 	snap   []State // states visible this step (previous round if synchronous)
 	rng    *rand.Rand
+	rngOK  bool // rng is seeded for the current (node, round)
 }
 
 // Node returns the node's simulator index. It is exposed for instrumentation
@@ -100,11 +135,18 @@ func (v *View) Neighbour(port int) State {
 func (v *View) Round() int { return v.engine.round }
 
 // Rand returns a deterministic per-node-per-round PRNG, safe under parallel
-// stepping.
+// stepping. The generator object is reused across steps and reseeded from
+// (engine seed, node, round), so the stream a Step observes is identical no
+// matter which worker — or how many — executes it.
 func (v *View) Rand() *rand.Rand {
-	if v.rng == nil {
+	if !v.rngOK {
 		seed := v.engine.seed ^ int64(v.node)*0x1E3779B97F4A7C15 ^ int64(v.engine.round)*0x3F58476D1CE4E5B9
-		v.rng = rand.New(rand.NewSource(seed))
+		if v.rng == nil {
+			v.rng = rand.New(rand.NewSource(seed))
+		} else {
+			v.rng.Seed(seed)
+		}
+		v.rngOK = true
 	}
 	return v.rng
 }
@@ -118,11 +160,42 @@ type Machine interface {
 	Step(v *View) State
 }
 
+// InPlaceStepper is an optional Machine fast path for synchronous rounds.
+// StepInPlace computes the same next state Step would, but may recycle the
+// memory of scratch — the node's state from two rounds earlier (nil, or of a
+// foreign type, after New, SetState or Corrupt). The contract:
+//
+//   - The returned value must not depend on the contents of scratch; scratch
+//     is a memory recycling hint, never an input.
+//   - The returned state must not alias anything reachable from the View
+//     (neighbour or self states of the read buffer) other than scratch.
+//   - Under an InPlaceStepper machine, states obtained from Engine.State are
+//     invalidated two StepSync calls later (their memory is recycled);
+//     callers that need a durable snapshot must Clone.
+//
+// The asynchronous daemon never uses this path: it steps on a single buffer
+// where the node's current state stays visible during the step.
+type InPlaceStepper interface {
+	StepInPlace(v *View, scratch State) State
+}
+
+// DefaultParallelThreshold is the network size below which parallel
+// dispatch is skipped. Measured crossover: one pool handoff costs on the
+// order of a few microseconds, while a typical Step runs in ~100ns, so
+// fan-out starts paying for itself at a few hundred nodes.
+const DefaultParallelThreshold = 512
+
+// stepChunk is the unit of work claimed off the round cursor: large enough
+// to amortize the atomic add, small enough to balance uneven step costs.
+const stepChunk = 128
+
 // Engine executes a Machine over a graph under one of the two daemons.
 type Engine struct {
 	g       *graph.Graph
 	machine Machine
+	inplace InPlaceStepper // non-nil iff machine implements the fast path
 	states  []State
+	prev    []State // spare buffer; swapped with states each sync round
 	round   int
 	seed    int64
 	rng     *rand.Rand
@@ -130,11 +203,39 @@ type Engine struct {
 	// Jitter > 0 makes the asynchronous daemon activate each node
 	// 1+Poisson-like extra times per time unit.
 	Jitter float64
-	// Parallel enables goroutine fan-out for synchronous rounds.
+	// Parallel enables worker-pool fan-out for synchronous rounds.
 	Parallel bool
+	// Workers caps this engine's fan-out (0 = all pool workers, i.e. the
+	// GOMAXPROCS of the process when the pool was first used).
+	Workers int
+	// ParallelThreshold is the minimum n at which fan-out engages
+	// (0 = DefaultParallelThreshold).
+	ParallelThreshold int
+	// ForcePool engages fan-out even on a single-core process, where it
+	// cannot win on wall-clock. For tests and measurements that must
+	// exercise the pool (which has a minimum of 2 workers) anywhere.
+	ForcePool bool
 
 	maxBits     int
 	activations int64
+
+	// Incremental instrumentation: per-node alarm/termination flags and
+	// their population counts, maintained on every state write so the
+	// accessors need no per-round O(n) scan.
+	alarmed    []bool
+	done       []bool
+	alarmCount int
+	doneCount  int
+
+	view  View  // reusable View for serial stepping, Init, and async
+	order []int // reusable activation-order buffer for StepAsync
+
+	// Per-round fan-out state shared with pool workers.
+	stepSnap []State
+	stepNext []State
+	cursor   atomic.Int64
+	wg       sync.WaitGroup
+	mu       sync.Mutex // guards the merge of per-worker reductions
 }
 
 // New creates an engine with clean-start states from machine.Init.
@@ -143,16 +244,32 @@ func New(g *graph.Graph, machine Machine, seed int64) *Engine {
 		g:       g,
 		machine: machine,
 		states:  make([]State, g.N()),
+		prev:    make([]State, g.N()),
 		seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
+		alarmed: make([]bool, g.N()),
+		done:    make([]bool, g.N()),
 	}
-	snap := e.states
+	e.inplace, _ = machine.(InPlaceStepper)
+	e.view.engine = e
+	e.view.snap = e.states
 	for i := 0; i < g.N(); i++ {
-		view := &View{engine: e, node: i, snap: snap}
-		e.states[i] = machine.Init(view)
+		e.view.node = i
+		e.view.rngOK = false
+		e.states[i] = machine.Init(&e.view)
 	}
-	e.recordBits()
+	for i := 0; i < g.N(); i++ {
+		e.noteState(i)
+	}
 	return e
+}
+
+// PoolWorkers returns the size of the shared synchronous worker pool,
+// derived from runtime.GOMAXPROCS(0) at first use (minimum 2, so the
+// parallel path stays exercisable on single-core machines).
+func PoolWorkers() int {
+	ensurePool()
+	return pool.size
 }
 
 // G returns the underlying graph.
@@ -167,77 +284,230 @@ func (e *Engine) Activations() int64 { return e.activations }
 // MaxStateBits returns the maximum BitSize observed on any node at any time.
 func (e *Engine) MaxStateBits() int { return e.maxBits }
 
-// State returns node v's current state (read-only).
+// State returns node v's current state (read-only; see InPlaceStepper for
+// the lifetime caveat under in-place machines).
 func (e *Engine) State(v int) State { return e.states[v] }
 
 // SetState overwrites node v's state; used for adversarial initialization
 // and fault injection.
-func (e *Engine) SetState(v int, s State) { e.states[v] = s }
+func (e *Engine) SetState(v int, s State) {
+	e.states[v] = s
+	e.noteState(v)
+}
 
 // Corrupt applies an adversarial mutation to node v's state.
 func (e *Engine) Corrupt(v int, f func(State) State) {
-	e.states[v] = f(e.states[v].Clone())
+	e.SetState(v, f(e.states[v].Clone()))
 }
 
-func (e *Engine) recordBits() {
-	for _, s := range e.states {
-		if s == nil {
-			continue
-		}
+// noteState refreshes the incremental instrumentation for node v's current
+// state: bit high-water mark, alarm flag, termination flag.
+func (e *Engine) noteState(v int) {
+	s := e.states[v]
+	alarm, done := false, false
+	if s != nil {
 		if b := s.BitSize(); b > e.maxBits {
 			e.maxBits = b
 		}
+		if a, ok := s.(Alarmer); ok && a.Alarm() {
+			alarm = true
+		}
+		if t, ok := s.(Terminator); ok && t.Done() {
+			done = true
+		}
+	}
+	if alarm != e.alarmed[v] {
+		e.alarmed[v] = alarm
+		if alarm {
+			e.alarmCount++
+		} else {
+			e.alarmCount--
+		}
+	}
+	if done != e.done[v] {
+		e.done[v] = done
+		if done {
+			e.doneCount++
+		} else {
+			e.doneCount--
+		}
 	}
 }
 
+// stepNode computes node i's next state into stepNext, refreshes its
+// instrumentation flags, and returns its (bits, alarm, done) contribution
+// for the caller's partial reduction.
+func (e *Engine) stepNode(v *View, i int) (bitSize int, alarm, done bool) {
+	v.node = i
+	v.rngOK = false
+	var s State
+	if e.inplace != nil {
+		s = e.inplace.StepInPlace(v, e.stepNext[i])
+	} else {
+		s = e.machine.Step(v)
+	}
+	e.stepNext[i] = s
+	bitSize = s.BitSize()
+	if a, ok := s.(Alarmer); ok && a.Alarm() {
+		alarm = true
+	}
+	if t, ok := s.(Terminator); ok && t.Done() {
+		done = true
+	}
+	e.alarmed[i] = alarm
+	e.done[i] = done
+	return bitSize, alarm, done
+}
+
+// effectiveWorkers returns how many pool workers a parallel round should
+// occupy: capped by Workers and by the number of chunks in the round.
+func (e *Engine) effectiveWorkers(n int) int {
+	w := pool.size
+	if e.Workers > 0 && e.Workers < w {
+		w = e.Workers
+	}
+	if chunks := (n + stepChunk - 1) / stepChunk; chunks < w {
+		w = chunks
+	}
+	return w
+}
+
 // StepSync executes one synchronous round: every node reads the previous
-// round's states and all updates apply simultaneously.
+// round's states and all updates apply simultaneously. The two state
+// buffers are swapped; no allocation happens in the steady state.
 func (e *Engine) StepSync() {
 	n := e.g.N()
-	snap := make([]State, n)
-	copy(snap, e.states)
-	next := make([]State, n)
-	if e.Parallel && n >= 64 {
-		var wg sync.WaitGroup
-		workers := 8
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					view := &View{engine: e, node: i, snap: snap}
-					next[i] = e.machine.Step(view)
-				}
-			}(lo, hi)
+	e.stepSnap, e.stepNext = e.states, e.prev
+	e.alarmCount, e.doneCount = 0, 0
+	parallel := false
+	if e.Parallel {
+		thr := e.ParallelThreshold
+		if thr == 0 {
+			thr = DefaultParallelThreshold
 		}
-		wg.Wait()
-	} else {
-		for i := 0; i < n; i++ {
-			view := &View{engine: e, node: i, snap: snap}
-			next[i] = e.machine.Step(view)
+		if n >= thr {
+			ensurePool()
+			// On a single-core process fan-out cannot win; engage the
+			// (minimum-2) pool only under an explicit ForcePool.
+			if w := e.effectiveWorkers(n); w > 1 && (pool.cores > 1 || e.ForcePool) {
+				parallel = true
+				e.cursor.Store(0)
+				e.wg.Add(w)
+				for i := 0; i < w; i++ {
+					pool.jobs <- e
+				}
+				e.wg.Wait()
+			}
 		}
 	}
-	e.states = next
+	if !parallel {
+		v := &e.view
+		v.snap = e.stepSnap
+		localMax, alarms, done := 0, 0, 0
+		for i := 0; i < n; i++ {
+			b, a, d := e.stepNode(v, i)
+			if b > localMax {
+				localMax = b
+			}
+			if a {
+				alarms++
+			}
+			if d {
+				done++
+			}
+		}
+		if localMax > e.maxBits {
+			e.maxBits = localMax
+		}
+		e.alarmCount, e.doneCount = alarms, done
+	}
+	e.states, e.prev = e.stepNext, e.stepSnap
+	e.stepSnap, e.stepNext = nil, nil
 	e.round++
 	e.activations += int64(n)
-	e.recordBits()
+}
+
+// runChunks is the body a pool worker executes for one engine round: claim
+// fixed-size index ranges off the shared cursor until the round is
+// exhausted, then merge this worker's partial reduction.
+func (e *Engine) runChunks(v *View) {
+	defer e.wg.Done()
+	v.engine = e
+	v.snap = e.stepSnap
+	n := len(e.stepSnap)
+	localMax, alarms, done := 0, 0, 0
+	for {
+		lo := int(e.cursor.Add(stepChunk)) - stepChunk
+		if lo >= n {
+			break
+		}
+		hi := lo + stepChunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			b, a, d := e.stepNode(v, i)
+			if b > localMax {
+				localMax = b
+			}
+			if a {
+				alarms++
+			}
+			if d {
+				done++
+			}
+		}
+	}
+	e.mu.Lock()
+	if localMax > e.maxBits {
+		e.maxBits = localMax
+	}
+	e.alarmCount += alarms
+	e.doneCount += done
+	e.mu.Unlock()
+}
+
+// pool is the shared synchronous worker pool: persistent goroutines, each
+// owning one reusable View, parked on the jobs channel between rounds. A
+// round is dispatched by sending the engine once per participating worker.
+var pool struct {
+	once  sync.Once
+	size  int
+	cores int // GOMAXPROCS at first use, before the minimum-2 floor
+	jobs  chan *Engine
+}
+
+func ensurePool() {
+	pool.once.Do(func() {
+		pool.cores = gort.GOMAXPROCS(0)
+		size := pool.cores
+		if size < 2 {
+			size = 2
+		}
+		pool.size = size
+		pool.jobs = make(chan *Engine, size)
+		for i := 0; i < size; i++ {
+			go func() {
+				var v View
+				for e := range pool.jobs {
+					e.runChunks(&v)
+				}
+			}()
+		}
+	})
 }
 
 // StepAsync executes one asynchronous time unit: every node is activated at
 // least once, in a random interleaving, each activation reading current
-// states. With Jitter > 0, additional activations are interleaved.
+// states. With Jitter > 0, additional activations are interleaved. The
+// activation-order buffer is reused across time units.
 func (e *Engine) StepAsync() {
 	n := e.g.N()
-	order := make([]int, 0, n+n/2)
-	order = append(order, e.rng.Perm(n)...)
+	order := e.order[:0]
+	for i := 0; i < n; i++ {
+		order = append(order, i)
+	}
+	e.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	if e.Jitter > 0 {
 		for i := 0; i < n; i++ {
 			for e.rng.Float64() < e.Jitter {
@@ -247,15 +517,24 @@ func (e *Engine) StepAsync() {
 		e.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		// Weak fairness: guarantee one activation per node per unit by
 		// appending a final permutation pass.
-		order = append(order, e.rng.Perm(n)...)
+		base := len(order)
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
+		tail := order[base:]
+		e.rng.Shuffle(n, func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
 	}
-	for _, v := range order {
-		view := &View{engine: e, node: v, snap: e.states}
-		e.states[v] = e.machine.Step(view)
+	e.order = order
+	v := &e.view
+	for _, node := range order {
+		v.snap = e.states
+		v.node = node
+		v.rngOK = false
+		e.states[node] = e.machine.Step(v)
+		e.noteState(node)
 		e.activations++
 	}
 	e.round++
-	e.recordBits()
 }
 
 // Step advances one time unit under the selected daemon.
@@ -268,36 +547,37 @@ func (e *Engine) Step(async bool) {
 }
 
 // AnyAlarm reports whether any node currently raises an alarm, and the index
-// of the first such node (-1 if none).
+// of the first such node (-1 if none). The no-alarm case is O(1).
 func (e *Engine) AnyAlarm() (int, bool) {
-	for i, s := range e.states {
-		if a, ok := s.(Alarmer); ok && a.Alarm() {
+	if e.alarmCount == 0 {
+		return -1, false
+	}
+	for i, a := range e.alarmed {
+		if a {
 			return i, true
 		}
 	}
 	return -1, false
 }
 
-// AlarmNodes returns all nodes currently raising an alarm.
+// AlarmNodes returns all nodes currently raising an alarm. The no-alarm
+// case is O(1).
 func (e *Engine) AlarmNodes() []int {
-	var out []int
-	for i, s := range e.states {
-		if a, ok := s.(Alarmer); ok && a.Alarm() {
+	if e.alarmCount == 0 {
+		return nil
+	}
+	out := make([]int, 0, e.alarmCount)
+	for i, a := range e.alarmed {
+		if a {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
-// AllDone reports whether every node's state signals termination.
+// AllDone reports whether every node's state signals termination. O(1).
 func (e *Engine) AllDone() bool {
-	for _, s := range e.states {
-		t, ok := s.(Terminator)
-		if !ok || !t.Done() {
-			return false
-		}
-	}
-	return true
+	return e.doneCount == e.g.N()
 }
 
 // RunUntil steps the engine (synchronously if async is false) until pred

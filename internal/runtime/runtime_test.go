@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	gort "runtime"
 	"testing"
+	"time"
 
 	"ssmst/internal/bits"
 	"ssmst/internal/graph"
@@ -118,6 +120,119 @@ func TestParallelMatchesSequential(t *testing.T) {
 				t.Fatalf("round %d node %d: parallel diverged", r, v)
 			}
 		}
+	}
+}
+
+// minIDInPlaceMachine is minIDMachine plus the InPlaceStepper fast path:
+// the next state is written into the recycled two-rounds-old state.
+type minIDInPlaceMachine struct{ minIDMachine }
+
+func (m minIDInPlaceMachine) StepInPlace(v *View, scratch State) State {
+	s, ok := scratch.(*minIDState)
+	if !ok {
+		s = &minIDState{}
+	}
+	s.min = m.Step(v).(*minIDState).min
+	return s
+}
+
+// TestParallelDeterminism asserts the acceptance criterion of the engine
+// rewrite: over 100 rounds on a random graph, pooled parallel stepping —
+// with and without the in-place fast path — is bit-identical to serial
+// stepping, every round. Run under -race in CI to exercise the pool.
+func TestParallelDeterminism(t *testing.T) {
+	g := graph.RandomConnected(300, 900, 21)
+	serial := New(g, minIDMachine{}, 4)
+	par := New(g, minIDMachine{}, 4)
+	par.Parallel = true
+	par.ParallelThreshold = 1 // fan out below the default threshold
+	par.ForcePool = true      // even on a single-core host
+	inplace := New(g, minIDInPlaceMachine{}, 4)
+	inplace.Parallel = true
+	inplace.ParallelThreshold = 1
+	inplace.ForcePool = true
+	for r := 0; r < 100; r++ {
+		serial.StepSync()
+		par.StepSync()
+		inplace.StepSync()
+		for v := 0; v < g.N(); v++ {
+			want := serial.State(v).(*minIDState).min
+			if got := par.State(v).(*minIDState).min; got != want {
+				t.Fatalf("round %d node %d: parallel %d != serial %d", r, v, got, want)
+			}
+			if got := inplace.State(v).(*minIDState).min; got != want {
+				t.Fatalf("round %d node %d: in-place %d != serial %d", r, v, got, want)
+			}
+		}
+		if par.MaxStateBits() != serial.MaxStateBits() {
+			t.Fatalf("round %d: parallel maxBits %d != serial %d", r, par.MaxStateBits(), serial.MaxStateBits())
+		}
+	}
+}
+
+// TestInPlaceConverges checks the in-place fast path against the toy
+// protocol's semantics end to end.
+func TestInPlaceConverges(t *testing.T) {
+	g := graph.Path(10, 1)
+	e := New(g, minIDInPlaceMachine{}, 7)
+	want := trueMin(g)
+	rounds, ok := e.RunUntil(false, 100, func(e *Engine) bool { return converged(e, want) })
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if rounds > g.Diameter() {
+		t.Fatalf("took %d rounds, diameter is %d", rounds, g.Diameter())
+	}
+}
+
+// TestWorkersCap checks that the Workers knob limits fan-out without
+// changing results.
+func TestWorkersCap(t *testing.T) {
+	g := graph.RandomConnected(200, 500, 3)
+	serial := New(g, minIDMachine{}, 5)
+	capped := New(g, minIDMachine{}, 5)
+	capped.Parallel = true
+	capped.ParallelThreshold = 1
+	capped.ForcePool = true
+	capped.Workers = 1 // degenerates to the serial path
+	for r := 0; r < 20; r++ {
+		serial.StepSync()
+		capped.StepSync()
+	}
+	for v := 0; v < g.N(); v++ {
+		if serial.State(v).(*minIDState).min != capped.State(v).(*minIDState).min {
+			t.Fatalf("node %d: Workers=1 diverged", v)
+		}
+	}
+}
+
+// TestParallelSpeedup asserts the ≥2× scaling criterion on machines with
+// enough cores; on fewer than 4 cores there is nothing to measure.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the parallel/serial ratio")
+	}
+	cores := gort.GOMAXPROCS(0)
+	if cores < 4 {
+		t.Skipf("need ≥4 cores, have %d", cores)
+	}
+	g := graph.RandomConnected(16384, 49152, 1)
+	const rounds = 30
+	timeRun := func(parallel bool) time.Duration {
+		e := New(g, minIDInPlaceMachine{}, 1)
+		e.Parallel = parallel
+		e.RunSyncRounds(2) // warm both buffers
+		start := time.Now()
+		e.RunSyncRounds(rounds)
+		return time.Since(start)
+	}
+	serial := timeRun(false)
+	par := timeRun(true)
+	if par*2 > serial {
+		t.Fatalf("parallel %v not ≥2× faster than serial %v on %d cores", par, serial, cores)
 	}
 }
 

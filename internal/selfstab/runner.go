@@ -22,6 +22,7 @@ type Runner struct {
 func NewRunner(g *graph.Graph, bound int, mode verify.Mode, seed int64) *Runner {
 	m := NewMachine(g, bound, mode)
 	eng := runtime.New(g, m, seed)
+	eng.Parallel = true
 	m.Snapshot = func() []*SState {
 		out := make([]*SState, g.N())
 		for i := 0; i < g.N(); i++ {
@@ -40,6 +41,12 @@ func (r *Runner) Step() { r.Eng.Step(r.Async) }
 // Stabilized reports whether every node is checking the same epoch with no
 // alarm and the output forms a spanning tree.
 func (r *Runner) Stabilized() bool {
+	// SState.Done is exactly "checking, no alarm"; the engine tracks it
+	// incrementally, so the per-round polling in RunUntilStable is O(1)
+	// until the network actually quiesces.
+	if !r.Eng.AllDone() {
+		return false
+	}
 	g := r.Eng.G()
 	var epoch int64 = -1
 	for v := 0; v < g.N(); v++ {

@@ -43,7 +43,7 @@ type State struct {
 	ParentID   graph.NodeID // identity of parent, 0 if root
 	RootID     graph.NodeID // estimate of the fragment root's identity
 	Level      int
-	Done       bool
+	Finished   bool
 
 	// Per-phase scratch (reset at each phase boundary).
 	Phase       int
@@ -76,7 +76,7 @@ func (s *State) BitSize() int {
 		bits.ForInt(int64(s.ParentID)),
 		bits.ForInt(int64(s.RootID)),
 		bits.ForInt(int64(s.Level)),
-		bits.ForBool, // Done
+		bits.ForBool, // Finished
 		bits.ForInt(int64(s.Phase)),
 		bits.ForBool, // CntWave
 		bits.ForInt(int64(s.CntTTL)),
@@ -104,8 +104,9 @@ func weightBits(w graph.Weight) int {
 	return bits.ForInt(int64(w))
 }
 
-// Done implements runtime.Terminator.
-func (s *State) IsDone() bool { return s.Done }
+// Done implements runtime.Terminator: the engine's incremental
+// instrumentation makes Engine.AllDone an O(1) read.
+func (s *State) Done() bool { return s.Finished }
 
 // NodeView is the window a SYNC_MST step needs: the embedding machine (the
 // standalone runner below, or the self-stabilizing transformer of
@@ -169,7 +170,7 @@ func (Machine) Step(v *runtime.View) runtime.State { return StepCore(runtimeView
 func StepCore(v NodeView) *State {
 	old := v.Self()
 	s := old.Clone().(*State)
-	if s.Done {
+	if s.Finished {
 		return s
 	}
 	r := v.Round()
@@ -185,8 +186,8 @@ func StepCore(v NodeView) *State {
 
 	// ---- Done wave: adopt termination from the parent. ----
 	if s.ParentPort >= 0 {
-		if ps := v.Neighbour(s.ParentPort); ps != nil && ps.Done {
-			s.Done = true
+		if ps := v.Neighbour(s.ParentPort); ps != nil && ps.Finished {
+			s.Finished = true
 			return s
 		}
 	}
@@ -269,7 +270,7 @@ func StepCore(v NodeView) *State {
 
 	// ---- Termination: the active root saw no outgoing edge. ----
 	if s.ParentPort < 0 && s.Active && s.FindEchoed && s.BestW == NoOut {
-		s.Done = true
+		s.Finished = true
 		return s
 	}
 
@@ -402,14 +403,8 @@ func (s *State) resetScratch(p int) {
 // against non-termination in tests.
 func RunRegister(g *graph.Graph, seed int64, maxRounds int) (*graph.Tree, *runtime.Engine, error) {
 	eng := runtime.New(g, Machine{}, seed)
-	_, ok := eng.RunUntil(false, maxRounds, func(e *runtime.Engine) bool {
-		for i := 0; i < g.N(); i++ {
-			if !e.State(i).(*State).Done {
-				return false
-			}
-		}
-		return true
-	})
+	eng.Parallel = true
+	_, ok := eng.RunUntil(false, maxRounds, func(e *runtime.Engine) bool { return e.AllDone() })
 	if !ok {
 		return nil, eng, errCantFinish(maxRounds)
 	}

@@ -19,10 +19,13 @@ type Runner struct {
 	Async   bool
 }
 
-// NewRunner builds an engine with the marker's labels installed.
+// NewRunner builds an engine with the marker's labels installed. Synchronous
+// rounds fan out over the shared worker pool at large n (bit-identical to
+// serial stepping; see the runtime package doc).
 func NewRunner(l *Labeled, mode Mode, seed int64) *Runner {
 	m := &Machine{Mode: mode, Labeled: l}
 	eng := runtime.New(l.G, m, seed)
+	eng.Parallel = true
 	return &Runner{Labeled: l, Machine: m, Eng: eng, Async: mode == Async}
 }
 
@@ -58,8 +61,10 @@ func (r *Runner) RunQuiet(rounds int) error {
 func (r *Runner) RunUntilAlarm(maxRounds int) (int, []int, bool) {
 	for i := 0; i < maxRounds; i++ {
 		r.Step()
-		if nodes := r.Eng.AlarmNodes(); len(nodes) > 0 {
-			return i + 1, nodes, true
+		// AnyAlarm is an O(1) read off the engine's incremental
+		// instrumentation; the O(n) AlarmNodes collection runs once.
+		if _, bad := r.Eng.AnyAlarm(); bad {
+			return i + 1, r.Eng.AlarmNodes(), true
 		}
 	}
 	return maxRounds, nil, false

@@ -26,10 +26,10 @@ func TestFigures4to9Walkthrough(t *testing.T) {
 	r := NewRunner(l, Async, 9)
 	r.Eng.Jitter = 0.3
 
-	asks := 0            // Fig 4: pieces captured into Ask
-	wantsFiled := 0      // Figs 6–7: requests filed
-	wantsResolved := 0   // Fig 9: a filed want cleared with cursor advance
-	holdsObserved := 0   // Fig 8/9: a server keeping its Down while wanted
+	asks := 0          // Fig 4: pieces captured into Ask
+	wantsFiled := 0    // Figs 6–7: requests filed
+	wantsResolved := 0 // Fig 9: a filed want cleared with cursor advance
+	holdsObserved := 0 // Fig 8/9: a server keeping its Down while wanted
 	prevWant := make([]train.Want, g.N())
 	prevCur := make([]int, g.N())
 	prevAskValid := make([]bool, g.N())

@@ -17,10 +17,22 @@ package ssmst
 
 import (
 	"ssmst/internal/graph"
+	"ssmst/internal/runtime"
 	"ssmst/internal/selfstab"
 	"ssmst/internal/syncmst"
 	"ssmst/internal/verify"
 )
+
+// Engine is the double-buffered stepping engine that executes register
+// protocols (runners expose theirs as Eng). Tuning knobs: Parallel enables
+// worker-pool fan-out for synchronous rounds, Workers caps it, and
+// ParallelThreshold sets the minimum n at which fan-out engages. Parallel
+// stepping is bit-identical to serial stepping.
+type Engine = runtime.Engine
+
+// PoolWorkers reports the size of the shared synchronous worker pool
+// (GOMAXPROCS at first use).
+func PoolWorkers() int { return runtime.PoolWorkers() }
 
 // Graph is an undirected edge-weighted network with unique node identities
 // and per-node port numbering (§2.1).
