@@ -23,26 +23,61 @@ import (
 
 // BenchmarkEngineScaling measures the double-buffered stepping engine at
 // growing n, serial vs pooled-parallel, for both the Clone-per-step path
-// and the zero-allocation InPlaceStepper path. Acceptance: at n=4096 the
-// in-place steady-state round loop reports 0 allocs/op, and on ≥4 cores
-// parallel is ≥2× faster than serial (see runtime.TestParallelSpeedup for
-// the asserted version; parallel/serial bit-equality is asserted by
-// runtime.TestParallelDeterminism).
+// and the zero-allocation InPlaceStepper path — on the toy FloodMin
+// protocol, on the §7 verifier, and on the §10 transformer seeded into its
+// check phase. Acceptance: the in-place steady-state round loop reports 0
+// allocs/op on all three machines, and on ≥4 cores parallel is ≥2× faster
+// than serial (see runtime.TestParallelSpeedup for the asserted version;
+// parallel/serial and clone/in-place bit-equality are asserted by
+// runtime.TestParallelDeterminism, verify.TestInPlaceMatchesClone and
+// selfstab.TestInPlaceMatchesClone).
 func BenchmarkEngineScaling(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096, 16384} {
 		g := graph.RandomConnected(n, 3*n, 1)
+		var labeled *verify.Labeled
+		lab := func(b *testing.B) *verify.Labeled {
+			if labeled == nil {
+				l, err := verify.Mark(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				labeled = l
+			}
+			return labeled
+		}
+		verifier := func(b *testing.B, wrap bool) *runtime.Engine {
+			var m runtime.Machine = &verify.Machine{Mode: verify.Sync, Labeled: lab(b)}
+			if wrap {
+				m = runtime.WithoutInPlace(m)
+			}
+			return runtime.New(g, m, 1)
+		}
+		transformer := func(b *testing.B, wrap bool) *runtime.Engine {
+			var m runtime.Machine = selfstab.NewMachine(g, g.N(), verify.Sync)
+			if wrap {
+				m = runtime.WithoutInPlace(m)
+			}
+			e := runtime.New(g, m, 1)
+			selfstab.SeedChecked(e, lab(b))
+			return e
+		}
 		for _, bc := range []struct {
 			name     string
 			parallel bool
-			machine  runtime.Machine
+			build    func(b *testing.B) *runtime.Engine
 		}{
-			{"serial", false, runtime.FloodMin{}},
-			{"parallel", true, runtime.FloodMin{}},
-			{"serial-clone", false, runtime.FloodMinClone{}},
-			{"parallel-clone", true, runtime.FloodMinClone{}},
+			{"serial", false, func(*testing.B) *runtime.Engine { return runtime.New(g, runtime.FloodMin{}, 1) }},
+			{"parallel", true, func(*testing.B) *runtime.Engine { return runtime.New(g, runtime.FloodMin{}, 1) }},
+			{"serial-clone", false, func(*testing.B) *runtime.Engine { return runtime.New(g, runtime.FloodMinClone{}, 1) }},
+			{"parallel-clone", true, func(*testing.B) *runtime.Engine { return runtime.New(g, runtime.FloodMinClone{}, 1) }},
+			{"verify", false, func(b *testing.B) *runtime.Engine { return verifier(b, false) }},
+			{"verify-parallel", true, func(b *testing.B) *runtime.Engine { return verifier(b, false) }},
+			{"verify-clone", false, func(b *testing.B) *runtime.Engine { return verifier(b, true) }},
+			{"selfstab", false, func(b *testing.B) *runtime.Engine { return transformer(b, false) }},
+			{"selfstab-clone", false, func(b *testing.B) *runtime.Engine { return transformer(b, true) }},
 		} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, bc.name), func(b *testing.B) {
-				e := runtime.New(g, bc.machine, 1)
+				e := bc.build(b)
 				e.Parallel = bc.parallel
 				e.ParallelThreshold = 256
 				e.ForcePool = bc.parallel // measure the pool even on 1 core

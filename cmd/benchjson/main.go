@@ -1,0 +1,81 @@
+// Command benchjson emits the repository's perf-trajectory snapshot as
+// machine-readable JSON: ns/round, allocs/round and B/round of the §7
+// verifier machine at n ∈ {1024, 4096, 16384}, on both the in-place fast
+// path and the clone path. CI's bench-smoke job runs it and uploads the
+// file as an artifact, so successive PRs accumulate comparable numbers
+// instead of prose claims. The measurement itself is
+// core.MeasureVerifierRound — the same code that produces the E14b table.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_pr2.json -rounds 30
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	gort "runtime"
+
+	"ssmst/internal/core"
+	"ssmst/internal/graph"
+	"ssmst/internal/verify"
+)
+
+// Result is one measured configuration.
+type Result struct {
+	N    int    `json:"n"`
+	Path string `json:"path"` // "inplace" | "clone"
+	core.RoundCost
+}
+
+// Report is the file schema.
+type Report struct {
+	Bench    string   `json:"bench"`
+	Machine  string   `json:"machine"`
+	GoMaxPro int      `json:"gomaxprocs"`
+	Rounds   int      `json:"rounds"`
+	Results  []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr2.json", "output file")
+	rounds := flag.Int("rounds", 30, "measured rounds per configuration")
+	flag.Parse()
+
+	rep := Report{
+		Bench:    "verifier-round",
+		Machine:  gort.GOOS + "/" + gort.GOARCH,
+		GoMaxPro: gort.GOMAXPROCS(0),
+		Rounds:   *rounds,
+	}
+	for _, n := range []int{1024, 4096, 16384} {
+		g := graph.RandomConnected(n, 3*n, 1)
+		l, err := verify.Mark(g)
+		if err != nil {
+			log.Fatalf("mark n=%d: %v", n, err)
+		}
+		for _, inplace := range []bool{true, false} {
+			path := "inplace"
+			if !inplace {
+				path = "clone"
+			}
+			rep.Results = append(rep.Results, Result{
+				N:         n,
+				Path:      path,
+				RoundCost: core.MeasureVerifierRound(g, l, inplace, *rounds, 1),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
+}

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|distance|construction|memory|partitions|selfstab|lowerbound|enginescaling")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|detectionscaling|distance|construction|memory|partitions|selfstab|lowerbound|enginescaling")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -32,6 +32,10 @@ func main() {
 		tables = append(tables, core.DetectionSync([]int{16, 32, 64, 128}, 3, *seed))
 	case "detectionasync":
 		tables = append(tables, core.DetectionAsync([]int{16, 32}, 2, *seed))
+	case "detectionscaling":
+		// E3/E12 past n=10⁴ on the in-place engine; minutes of wall clock,
+		// so it is not part of the default suite.
+		tables = append(tables, core.DetectionScaling([]int{1024, 4096, 16384}, 1, *seed))
 	case "distance":
 		tables = append(tables, core.DetectionDistance(64, []int{1, 2, 4}, *seed))
 	case "construction":
@@ -46,6 +50,7 @@ func main() {
 		tables = append(tables, core.LowerBound([]int{1, 2, 3}, *seed))
 	case "enginescaling":
 		tables = append(tables, core.EngineScaling([]int{1024, 4096, 16384, 65536}, 50, *seed))
+		tables = append(tables, core.VerifierScaling([]int{1024, 4096, 16384}, 20, *seed))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

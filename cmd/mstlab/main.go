@@ -26,6 +26,7 @@ func main() {
 	selfstab := flag.Bool("selfstab", false, "run the self-stabilizing construction instead")
 	serial := flag.Bool("serial", false, "disable worker-pool fan-out for synchronous rounds")
 	workers := flag.Int("workers", 0, "cap pool workers per round (0: all); nonzero also forces pool engagement (-serial wins)")
+	clone := flag.Bool("clone", false, "disable the in-place fast path (clone-per-step reference engine)")
 	flag.Parse()
 
 	tune := func(e *ssmst.Engine) {
@@ -45,7 +46,12 @@ func main() {
 	fmt.Printf("graph: n=%d m=%d Δ=%d diameter=%d\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
 
 	if *selfstab {
-		r := ssmst.NewSelfStabilizing(g, g.N(), mode, *seed)
+		var r *ssmst.SelfStabilizing
+		if *clone {
+			r = ssmst.NewSelfStabilizingClonePath(g, g.N(), mode, *seed)
+		} else {
+			r = ssmst.NewSelfStabilizing(g, g.N(), mode, *seed)
+		}
 		tune(r.Eng)
 		rounds, ok := r.RunUntilStable(2 * r.StabilizationBudget())
 		fmt.Printf("self-stabilizing MST: stabilized=%v in %d rounds, MST=%v, max bits/node=%d\n",
@@ -64,7 +70,12 @@ func main() {
 	}
 	fmt.Printf("marker: %d rounds, max label bits=%d\n", labeled.ConstructionTime, labeled.MaxLabelBits())
 
-	v := ssmst.NewVerifier(labeled, mode, *seed)
+	var v *ssmst.Verifier
+	if *clone {
+		v = ssmst.NewVerifierClonePath(labeled, mode, *seed)
+	} else {
+		v = ssmst.NewVerifier(labeled, mode, *seed)
+	}
 	tune(v.Eng)
 	budget := ssmst.DetectionBudget(g.N())
 	if *fault == "" {

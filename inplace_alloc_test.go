@@ -1,0 +1,52 @@
+package ssmst
+
+import (
+	"testing"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/runtime"
+	"ssmst/internal/selfstab"
+	"ssmst/internal/syncmst"
+	"ssmst/internal/verify"
+)
+
+// TestDetectionPipelineAllocFree asserts the tentpole property of the
+// in-place detection pipeline: once warmed up, a synchronous round of the
+// §7 verifier and of the §10 transformer (check phase) performs zero heap
+// allocations. BenchmarkEngineScaling reports the same quantity; this test
+// makes it a hard gate.
+func TestDetectionPipelineAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	g := graph.RandomConnected(192, 480, 4)
+	l, err := verify.Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	verifier := runtime.New(g, &verify.Machine{Mode: verify.Sync, Labeled: l}, 1)
+	transformer := runtime.New(g, selfstab.NewMachine(g, g.N(), verify.Sync), 1)
+	selfstab.SeedChecked(transformer, l)
+	syncmstEng := runtime.New(g, syncmst.Machine{}, 1)
+
+	for name, e := range map[string]*runtime.Engine{
+		"verifier":    verifier,
+		"transformer": transformer,
+	} {
+		// Warm up: fill both buffers and let every reusable buffer (scratch
+		// slices, recycled label blocks) reach its steady-state capacity.
+		e.RunSyncRounds(8)
+		if avg := testing.AllocsPerRun(16, e.StepSync); avg != 0 {
+			t.Errorf("%s: %.1f allocs per steady-state round, want 0", name, avg)
+		}
+	}
+
+	// SYNC_MST allocates only at phase boundaries (a handful of rounds out
+	// of O(n)); assert the common round is allocation-free by sampling a
+	// mid-phase stretch.
+	syncmstEng.RunSyncRounds(12)
+	if avg := testing.AllocsPerRun(8, syncmstEng.StepSync); avg != 0 {
+		t.Errorf("syncmst: %.1f allocs per mid-phase round, want 0", avg)
+	}
+}

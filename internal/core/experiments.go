@@ -381,6 +381,116 @@ func SelfStabilization(sizes []int, seed int64) *Table {
 	return t
 }
 
+// DetectionScaling extends the detection-time experiments E3 (standalone
+// verifier) and E12 (detection inside the self-stabilizing transformer's
+// check phase) past n=10⁴ — the regime the clone-per-step engine could not
+// reach — and reports the measured curves against the paper's O(log² n)
+// synchronous bound. The transformer rows seed the stabilized check-phase
+// configuration directly (selfstab.SeedChecked): detection latency does not
+// depend on how the configuration was reached, and simulating the O(n)
+// build rounds first would bound n, not the measurement. Warm-up is two
+// full train cycles of the slowest part (enough for every train to be
+// rolling and the sampler to be mid-sweep) rather than a budget fraction,
+// for the same reason.
+func DetectionScaling(sizes []int, trials int, seed int64) *Table {
+	t := &Table{
+		Title: "E3/E12 at scale — synchronous detection time vs the O(log² n) bound (in-place engine)",
+		Header: []string{"n", "λ", "log²n", "E3 verifier median rounds", "E12 selfstab median rounds",
+			"budget", "verifier ns/round"},
+		Remarks: []string{
+			"Fault: FaultStoredPieceW (a stored piece's ω̂ raised) in both columns — detection must flow through the trains and the sampler, the O(log² n) path.",
+			"budget is DetectionBudget(n) — the Theorem 8.5 bound the measured medians must stay under.",
+			"E12 detection = first round a node leaves the check phase (the transformer consumes the alarm and starts a new epoch in the same step).",
+		},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, seed+int64(n))
+		l, err := verify.Mark(g)
+		if err != nil {
+			continue
+		}
+		warm := 2*maxTrainBudget(l) + 32
+		budget := verify.DetectionBudget(n)
+		rng := rand.New(rand.NewSource(seed))
+		var vTimes, sTimes, nsRounds []int
+		for trial := 0; trial < trials; trial++ {
+			// E3: the standalone verifier.
+			r := verify.NewRunner(l, verify.Sync, seed+int64(trial))
+			start := time.Now()
+			r.Eng.RunSyncRounds(warm)
+			nsRounds = append(nsRounds, int(time.Since(start).Nanoseconds()/int64(warm)))
+			// Not every node stores pieces: retry victims until one does.
+			injected := false
+			for att := 0; att < n && !injected; att++ {
+				injected = r.InjectKind(rng.Intn(n), verify.FaultStoredPieceW, rng)
+			}
+			if !injected {
+				continue
+			}
+			if rounds, _, ok := r.RunUntilAlarm(2 * budget); ok {
+				vTimes = append(vTimes, rounds)
+			}
+		}
+		for trial := 0; trial < trials; trial++ {
+			// E12: the transformer, seeded into its stabilized check phase,
+			// with the same train-borne fault as E3. Detection is the node
+			// leaving the check phase (AllDone turning false): the step that
+			// sees the alarm atomically starts the new epoch, so AnyAlarm
+			// never observes the transformer's alarmed verifier state.
+			sr := selfstab.NewRunner(g, n, verify.Sync, seed+int64(trial))
+			sr.SeedStable(l)
+			sr.Eng.RunSyncRounds(warm)
+			if !sr.Eng.AllDone() {
+				continue // seeded configuration did not hold (unexpected)
+			}
+			injected := false
+			for att := 0; att < n && !injected; att++ {
+				victim := rng.Intn(n)
+				injected = sr.InjectCheckFault(victim, func(c *verify.VState) bool {
+					return verify.ApplyFault(c, verify.FaultStoredPieceW, rng, g.Degree(victim))
+				})
+			}
+			if !injected {
+				continue
+			}
+			for i := 0; i < 2*budget; i++ {
+				sr.Step()
+				if !sr.Eng.AllDone() {
+					sTimes = append(sTimes, i+1)
+					break
+				}
+			}
+		}
+		if len(vTimes) == 0 || len(sTimes) == 0 {
+			continue
+		}
+		lg := 0
+		for 1<<uint(lg+1) <= n {
+			lg++
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(train.LambdaThreshold(n)), fmt.Sprint(lg * lg),
+			fmt.Sprint(median(vTimes)), fmt.Sprint(median(sTimes)),
+			fmt.Sprint(budget), fmt.Sprint(median(nsRounds)),
+		})
+	}
+	return t
+}
+
+// maxTrainBudget returns the slowest train-cycle budget over all nodes of a
+// marked instance: the warm-up unit of the scaling experiments.
+func maxTrainBudget(l *verify.Labeled) int {
+	max := 0
+	for i := range l.Labels {
+		for _, lab := range []*train.Labels{&l.Labels[i].Train.Top, &l.Labels[i].Train.Bottom} {
+			if b := lab.CycleBudget(); b > max {
+				max = b
+			}
+		}
+	}
+	return max
+}
+
 // EngineScaling measures the stepping engine itself (experiment E14): ns
 // per synchronous round and allocations per round at growing n, serial vs
 // worker-pool parallel, on the zero-allocation FloodMin protocol. This is
@@ -417,6 +527,70 @@ func EngineScaling(sizes []int, rounds int, seed int64) *Table {
 				fmt.Sprint(elapsed.Nanoseconds() / int64(rounds)),
 				fmt.Sprint((m1.Mallocs - m0.Mallocs) / uint64(rounds)),
 				fmt.Sprint((m1.TotalAlloc - m0.TotalAlloc) / uint64(rounds)),
+			})
+		}
+	}
+	return t
+}
+
+// RoundCost is the steady-state cost of one engine round, as measured by
+// MeasureVerifierRound — shared by the E14b table and cmd/benchjson so the
+// CI artifact and the experiment stay methodologically identical.
+type RoundCost struct {
+	NsPerRound    int64  `json:"ns_per_round"`
+	AllocsPerRnd  uint64 `json:"allocs_per_round"`
+	BytesPerRound uint64 `json:"bytes_per_round"`
+}
+
+// MeasureVerifierRound measures one verifier round over the whole network
+// at steady state, on the in-place fast path or the clone reference path.
+func MeasureVerifierRound(g *graph.Graph, l *verify.Labeled, inplace bool, rounds int, seed int64) RoundCost {
+	var m runtime.Machine = &verify.Machine{Mode: verify.Sync, Labeled: l}
+	if !inplace {
+		m = runtime.WithoutInPlace(m)
+	}
+	e := runtime.New(g, m, seed)
+	e.RunSyncRounds(2) // fill both buffers: steady state
+	var m0, m1 gort.MemStats
+	gort.ReadMemStats(&m0)
+	start := time.Now()
+	e.RunSyncRounds(rounds)
+	elapsed := time.Since(start)
+	gort.ReadMemStats(&m1)
+	return RoundCost{
+		NsPerRound:    elapsed.Nanoseconds() / int64(rounds),
+		AllocsPerRnd:  (m1.Mallocs - m0.Mallocs) / uint64(rounds),
+		BytesPerRound: (m1.TotalAlloc - m0.TotalAlloc) / uint64(rounds),
+	}
+}
+
+// VerifierScaling measures the production machine the engine exists for:
+// one verifier round over the whole network at growing n, clone path vs
+// the in-place fast path (experiment E14b). This is the unit cost of every
+// detection-time figure; the in-place column is the one the large-n
+// experiments (DetectionScaling) run on.
+func VerifierScaling(sizes []int, rounds int, seed int64) *Table {
+	t := &Table{
+		Title:  "E14b — verifier round cost: clone path vs in-place fast path",
+		Header: []string{"n", "path", "ns/round", "allocs/round", "B/round"},
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 3*n, seed)
+		l, err := verify.Mark(g)
+		if err != nil {
+			continue
+		}
+		for _, inplace := range []bool{false, true} {
+			path := "in-place"
+			if !inplace {
+				path = "clone"
+			}
+			c := MeasureVerifierRound(g, l, inplace, rounds, seed)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), path,
+				fmt.Sprint(c.NsPerRound),
+				fmt.Sprint(c.AllocsPerRnd),
+				fmt.Sprint(c.BytesPerRound),
 			})
 		}
 	}

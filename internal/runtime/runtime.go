@@ -90,12 +90,26 @@ type Terminator interface {
 // states are read-only; Step implementations must not mutate them. Views are
 // reused across steps and must not be retained past the Step call.
 type View struct {
-	engine *Engine
-	node   int
-	snap   []State // states visible this step (previous round if synchronous)
-	rng    *rand.Rand
-	rngOK  bool // rng is seeded for the current (node, round)
+	engine  *Engine
+	node    int
+	snap    []State // states visible this step (previous round if synchronous)
+	rng     *rand.Rand
+	rngOK   bool // rng is seeded for the current (node, round)
+	scratch any  // per-View machine scratch; see MachineScratch
 }
+
+// MachineScratch returns the View's machine-scratch slot: a per-View (and
+// therefore per-worker) place where a Machine may park reusable step
+// buffers — neighbour lists, contexts, cursors — so that its hot path
+// allocates nothing at steady state. The slot belongs to whichever machine
+// last used the View: always type-assert the value and install a fresh
+// scratch on mismatch (pool workers serve many engines and machines over
+// their lifetime). Scratch contents must be recomputed every step; they
+// carry memory between steps, never data.
+func (v *View) MachineScratch() any { return v.scratch }
+
+// SetMachineScratch installs a machine scratch value; see MachineScratch.
+func (v *View) SetMachineScratch(s any) { v.scratch = s }
 
 // Node returns the node's simulator index. It is exposed for instrumentation
 // only; protocol logic must use ID().
@@ -178,6 +192,19 @@ type Machine interface {
 type InPlaceStepper interface {
 	StepInPlace(v *View, scratch State) State
 }
+
+// WithoutInPlace wraps a machine so that it no longer advertises the
+// InPlaceStepper fast path: the engine falls back to Machine.Step even if
+// the wrapped machine implements StepInPlace. Benchmarks and determinism
+// tests use it to run the clone path and the in-place path of the same
+// machine side by side.
+func WithoutInPlace(m Machine) Machine { return cloneOnly{m} }
+
+// cloneOnly deliberately has no StepInPlace method.
+type cloneOnly struct{ m Machine }
+
+func (c cloneOnly) Init(v *View) State { return c.m.Init(v) }
+func (c cloneOnly) Step(v *View) State { return c.m.Step(v) }
 
 // DefaultParallelThreshold is the network size below which parallel
 // dispatch is skipped. Measured crossover: one pool handoff costs on the
@@ -432,6 +459,12 @@ func (e *Engine) StepSync() {
 // exhausted, then merge this worker's partial reduction.
 func (e *Engine) runChunks(v *View) {
 	defer e.wg.Done()
+	// Drop the engine references before parking so a discarded engine's
+	// full state buffer is not pinned for the process lifetime. The machine
+	// scratch deliberately survives — reusing it across rounds is what
+	// keeps machine steps allocation-free — at the scoped cost of pinning
+	// the O(Δ) states its neighbour lists last pointed at.
+	defer func() { v.engine, v.snap = nil, nil }()
 	v.engine = e
 	v.snap = e.stepSnap
 	n := len(e.stepSnap)

@@ -18,10 +18,25 @@ type Runner struct {
 
 // NewRunner builds the transformer engine; bound is the polynomial upper
 // bound N on n assumed by the reset substrate (pass g.N() for the exact
-// bound).
+// bound). Rounds run on the in-place zero-allocation fast path.
 func NewRunner(g *graph.Graph, bound int, mode verify.Mode, seed int64) *Runner {
+	return newRunner(g, bound, mode, seed, false)
+}
+
+// NewClonePathRunner is NewRunner with the InPlaceStepper fast path
+// disabled (runtime.WithoutInPlace): the clone-per-step reference
+// configuration for measuring — and cross-checking — the in-place engine.
+func NewClonePathRunner(g *graph.Graph, bound int, mode verify.Mode, seed int64) *Runner {
+	return newRunner(g, bound, mode, seed, true)
+}
+
+func newRunner(g *graph.Graph, bound int, mode verify.Mode, seed int64, clonePath bool) *Runner {
 	m := NewMachine(g, bound, mode)
-	eng := runtime.New(g, m, seed)
+	var mm runtime.Machine = m
+	if clonePath {
+		mm = runtime.WithoutInPlace(m)
+	}
+	eng := runtime.New(g, mm, seed)
 	eng.Parallel = true
 	m.Snapshot = func() []*SState {
 		out := make([]*SState, g.N())
@@ -114,6 +129,34 @@ func (r *Runner) StabilizationBudget() int {
 	return 3*perEpoch + 2*detect
 }
 
+// SeedStable installs the stabilized configuration for a marked instance:
+// every node checking epoch 0 with l's labels and quiescent dynamic state —
+// exactly what a clean run converges to. Large-n measurements of the check
+// phase (detection latency, engine throughput) use it to skip the O(N)
+// build rounds it would take to get there; l must label r's graph.
+func (r *Runner) SeedStable(l *verify.Labeled) { SeedChecked(r.Eng, l) }
+
+// SeedChecked is SeedStable for a bare engine running the transformer
+// (possibly clone-wrapped); benchmarks compare the two step paths with it.
+func SeedChecked(eng *runtime.Engine, l *verify.Labeled) {
+	g := eng.G()
+	for v := 0; v < g.N(); v++ {
+		pp := -1
+		if p := l.Tree.Parent[v]; p >= 0 {
+			pp = g.PortTo(v, p)
+		}
+		eng.SetState(v, &SState{
+			MyID:  g.ID(v),
+			Phase: PhaseCheck,
+			Check: &verify.VState{
+				MyID:       g.ID(v),
+				ParentPort: pp,
+				L:          l.Labels[v].Clone(),
+			},
+		})
+	}
+}
+
 // Scramble installs adversarial arbitrary states at every node.
 func (r *Runner) Scramble(rng *rand.Rand) {
 	g := r.Eng.G()
@@ -144,23 +187,38 @@ func (r *Runner) Scramble(rng *rand.Rand) {
 	}
 }
 
-// InjectLabelFault corrupts a node's verifier state post-stabilization.
-func (r *Runner) InjectLabelFault(v int, rng *rand.Rand) bool {
+// InjectCheckFault applies a mutation to node v's installed verifier state
+// (check phase only); f reports whether it changed anything. Detection
+// inside the transformer is observed as the node leaving the check phase
+// (Engine.AllDone turning false): the step that sees the alarm atomically
+// starts the new epoch, so the alarmed verifier state itself is never
+// visible between rounds.
+func (r *Runner) InjectCheckFault(v int, f func(*verify.VState) bool) bool {
 	st, ok := r.Eng.State(v).(*SState)
 	if !ok || st.Phase != PhaseCheck || st.Check == nil {
 		return false
 	}
 	c := st.Clone().(*SState)
-	// Flip a Roots entry — a §5 structural fault.
-	if len(c.Check.L.HS.Roots) == 0 {
+	if !f(c.Check) {
 		return false
-	}
-	j := rng.Intn(len(c.Check.L.HS.Roots))
-	if c.Check.L.HS.Roots[j] == '1' {
-		c.Check.L.HS.Roots[j] = '*'
-	} else {
-		c.Check.L.HS.Roots[j] = '1'
 	}
 	r.Eng.SetState(v, c)
 	return true
+}
+
+// InjectLabelFault corrupts a node's verifier state post-stabilization.
+func (r *Runner) InjectLabelFault(v int, rng *rand.Rand) bool {
+	return r.InjectCheckFault(v, func(c *verify.VState) bool {
+		// Flip a Roots entry — a §5 structural fault.
+		if len(c.L.HS.Roots) == 0 {
+			return false
+		}
+		j := rng.Intn(len(c.L.HS.Roots))
+		if c.L.HS.Roots[j] == '1' {
+			c.L.HS.Roots[j] = '*'
+		} else {
+			c.L.HS.Roots[j] = '1'
+		}
+		return true
+	})
 }

@@ -84,7 +84,9 @@ func (s *SState) Clone() runtime.State {
 
 // BitSize measures the composite state: the transformer bookkeeping plus
 // the live sub-states (two build slots during Build, the verifier during
-// Check) — O(log n) in total.
+// Check) — O(log n) in total. Audited field-complete against the struct
+// (MyID, Epoch, Phase=2 bits, Pulse, sub-states) when the verifier's
+// AlarmCode under-count was fixed.
 func (s *SState) BitSize() int {
 	sub := 0
 	if s.Build != nil {
@@ -114,8 +116,9 @@ func (s *SState) Alarm() bool {
 func (s *SState) Done() bool { return s.Phase == PhaseCheck && !s.Alarm() }
 
 var (
-	_ runtime.Machine = (*Machine)(nil)
-	_ runtime.Alarmer = (*SState)(nil)
+	_ runtime.Machine        = (*Machine)(nil)
+	_ runtime.InPlaceStepper = (*Machine)(nil)
+	_ runtime.Alarmer        = (*SState)(nil)
 )
 
 // Machine is the transformer register program.
@@ -166,10 +169,98 @@ func (m *Machine) Init(v *runtime.View) runtime.State {
 	return &SState{MyID: v.ID(), Phase: PhaseResync}
 }
 
-// Step advances the transformer at one node.
+// machScratch is the transformer's per-View (and therefore per-worker)
+// scratch: the reusable adapter views and the embedded verifier scratch.
+type machScratch struct {
+	bv  buildView
+	cv  checkView
+	vsc verify.Scratch
+}
+
+func (m *Machine) scratchOf(v *runtime.View) *machScratch {
+	if sc, ok := v.MachineScratch().(*machScratch); ok {
+		return sc
+	}
+	sc := new(machScratch)
+	v.SetMachineScratch(sc)
+	return sc
+}
+
+// recycleBuild deep-copies src into the recycled slot dst (either may be
+// nil). It returns nil when src is nil, dropping dst's memory.
+func recycleBuild(dst, src *syncmst.State) *syncmst.State {
+	if src == nil {
+		return nil
+	}
+	if dst == nil {
+		dst = new(syncmst.State)
+	}
+	*dst = *src
+	return dst
+}
+
+// recycleCheck deep-copies src into the recycled slot dst, reusing dst's
+// label buffers (either may be nil).
+func recycleCheck(dst, src *verify.VState) *verify.VState {
+	if src == nil {
+		return nil
+	}
+	if dst == nil {
+		dst = new(verify.VState)
+	}
+	dst.CopyFrom(src)
+	return dst
+}
+
+// Step advances the transformer at one node (the clone path: every call
+// returns freshly allocated state).
 func (m *Machine) Step(v *runtime.View) runtime.State {
+	return m.stepInto(v, new(SState), m.scratchOf(v))
+}
+
+// StepInPlace implements runtime.InPlaceStepper: the composite next state
+// is written into the recycled two-rounds-old SState, reusing its
+// Build/BuildPrev/Check sub-states, so the steady-state round loop
+// allocates only at phase transitions (and nothing at all once a phase is
+// entered).
+func (m *Machine) StepInPlace(v *runtime.View, scratch runtime.State) runtime.State {
+	dst, ok := scratch.(*SState)
+	if !ok || dst == nil {
+		dst = new(SState)
+	}
+	return m.stepInto(v, dst, m.scratchOf(v))
+}
+
+// stepInto computes the transformer's next state for one node into dst.
+// dst's sub-state memory is recycled; the result never aliases v.Self(),
+// any neighbour state, or anything else reachable from the View.
+func (m *Machine) stepInto(v *runtime.View, dst *SState, sc *machScratch) runtime.State {
 	old := v.Self().(*SState)
-	s := old.Clone().(*SState)
+	// Salvage dst's recyclable sub-state memory before the header copy.
+	b1, b2, ck := dst.Build, dst.BuildPrev, dst.Check
+	if b2 == b1 {
+		b2 = nil // adversarial aliasing in an injected state: keep the slots distinct
+	}
+	*dst = *old
+	s := dst
+	// Deep-copy the sub-states into the recycled slots (what the clone path's
+	// Clone did); from here on s shares no memory with old. The sub-state a
+	// phase's own hot step overwrites wholesale is deferred to that branch —
+	// BuildPrev during Build (the advancing pulse uses its slot as the step
+	// destination), Check during Check (the verifier copies the pre-step
+	// state itself) — so the dominant steps copy each block exactly once.
+	s.Build = recycleBuild(b1, old.Build)
+	switch s.Phase {
+	case PhaseBuild:
+		s.BuildPrev = nil // materialized in the build branch below
+		s.Check = recycleCheck(ck, old.Check)
+	case PhaseCheck:
+		s.BuildPrev = recycleBuild(b2, old.BuildPrev)
+		s.Check = nil // materialized in the check branch below
+	default:
+		s.BuildPrev = recycleBuild(b2, old.BuildPrev)
+		s.Check = recycleCheck(ck, old.Check)
+	}
 
 	// ---- Epoch adoption: the reset flood. ----
 	for q := 0; q < v.Degree(); q++ {
@@ -209,10 +300,21 @@ func (m *Machine) Step(v *runtime.View) runtime.State {
 			s.Build = syncmst.NewState(s.MyID)
 		}
 		if m.mayAdvance(v, s) {
-			next := syncmst.StepCore(&buildView{v: v, s: s, round: s.Pulse})
+			sc.bv.v, sc.bv.s, sc.bv.round = v, s, s.Pulse
+			// The recycled previous-pulse slot is the step destination —
+			// its deferred copy is never made on this path, since the
+			// rotation would discard it anyway; a build pulse copies each
+			// block once and allocates nothing at steady state.
+			spare := b2
+			if spare == nil {
+				spare = new(syncmst.State)
+			}
+			next := syncmst.StepCoreInto(spare, &sc.bv)
 			s.BuildPrev = s.Build
 			s.Build = next
 			s.Pulse++
+		} else {
+			s.BuildPrev = recycleBuild(b2, old.BuildPrev)
 		}
 		if s.Pulse >= m.buildDur() {
 			s.Phase = PhaseLabel
@@ -224,17 +326,29 @@ func (m *Machine) Step(v *runtime.View) runtime.State {
 		// Hold the verifier until the whole neighbourhood has reached the
 		// check phase of this epoch (the one-activation skew the
 		// synchronizer permits at the phase boundary must not read as a
-		// missing neighbour).
+		// missing neighbour). The early return materializes the deferred
+		// Check copy.
 		for q := 0; q < v.Degree(); q++ {
 			nb, ok := v.Neighbour(q).(*SState)
 			if !ok || nb.Epoch != s.Epoch || nb.Phase != PhaseCheck {
+				s.Check = recycleCheck(ck, old.Check)
 				return s
 			}
 		}
-		if s.Check == nil {
-			s.Check = poisonState(s.MyID)
+		// The verifier reads the pre-step state straight off the read
+		// buffer and writes into this node's recycled block — each node's
+		// check memory keeps its own label shape, so the quiet check phase
+		// performs exactly one label copy per round and allocates nothing.
+		self := old.Check
+		if self == nil {
+			self = poisonState(s.MyID) // corrupted state: rare, once per corruption
 		}
-		s.Check = m.verifier.StepCore(&checkView{v: v, s: s})
+		vdst := ck
+		if vdst == nil {
+			vdst = new(verify.VState)
+		}
+		sc.cv.v, sc.cv.s, sc.cv.self = v, s, self
+		s.Check = m.verifier.StepInto(vdst, &sc.cv, &sc.vsc)
 		if s.Check.AlarmFlag {
 			// Detection: start a new epoch (the Resynchronizer drops back
 			// to re-execution).
@@ -372,16 +486,19 @@ func (b *buildView) Neighbour(port int) *syncmst.State {
 	return nil
 }
 
-// checkView adapts the transformer state to verify.NodeView.
+// checkView adapts the transformer state to verify.NodeView. self is the
+// pre-step verifier state (the read-buffer copy, so the in-place path can
+// use the node's own composite state as the write destination).
 type checkView struct {
-	v *runtime.View
-	s *SState
+	v    *runtime.View
+	s    *SState
+	self *verify.VState
 }
 
 func (c *checkView) Degree() int                  { return c.v.Degree() }
 func (c *checkView) Weight(port int) graph.Weight { return c.v.Weight(port) }
 func (c *checkView) PeerPort(q int) int           { return c.v.PeerPort(q) }
-func (c *checkView) Self() *verify.VState         { return c.s.Check }
+func (c *checkView) Self() *verify.VState         { return c.self }
 func (c *checkView) Neighbour(port int) *verify.VState {
 	nb, ok := c.v.Neighbour(port).(*SState)
 	if !ok || nb.Epoch != c.s.Epoch || nb.Phase != PhaseCheck || nb.Check == nil {

@@ -127,7 +127,10 @@ type NodeView interface {
 // Machine is the SYNC_MST register program.
 type Machine struct{}
 
-var _ runtime.Machine = Machine{}
+var (
+	_ runtime.Machine        = Machine{}
+	_ runtime.InPlaceStepper = Machine{}
+)
 
 // NewState produces the clean simultaneous-wake-up state: the node is the
 // root of its own singleton fragment at level 0.
@@ -166,10 +169,26 @@ func (a runtimeView) Neighbour(port int) *State {
 // Step implements runtime.Machine for standalone runs.
 func (Machine) Step(v *runtime.View) runtime.State { return StepCore(runtimeView{v}) }
 
+// StepInPlace implements runtime.InPlaceStepper: State is a flat value
+// (no reference fields), so the next state is computed straight into the
+// recycled slot and the steady-state round loop allocates nothing.
+func (Machine) StepInPlace(v *runtime.View, scratch runtime.State) runtime.State {
+	dst, ok := scratch.(*State)
+	if !ok || dst == nil {
+		dst = new(State)
+	}
+	return StepCoreInto(dst, runtimeView{v})
+}
+
 // StepCore advances one node by one synchronous round.
-func StepCore(v NodeView) *State {
-	old := v.Self()
-	s := old.Clone().(*State)
+func StepCore(v NodeView) *State { return StepCoreInto(new(State), v) }
+
+// StepCoreInto is StepCore writing into recycled memory: dst receives a
+// value copy of v.Self() and is stepped in place. dst must not alias
+// v.Self() or any neighbour state.
+func StepCoreInto(dst *State, v NodeView) *State {
+	s := dst
+	*s = *v.Self()
 	if s.Finished {
 		return s
 	}

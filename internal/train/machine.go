@@ -100,16 +100,22 @@ func pickLabels(l *NodeLabels, top bool) *Labels {
 // NeededLevels returns the level sets JTop(v) and JBottom(v) a node must see
 // on each train, derived from its strings and the delimiter.
 func NeededLevels(s *hierarchy.Strings, n int) (topLevels, bottomLevels []int) {
+	return AppendNeededLevels(nil, nil, s, n)
+}
+
+// AppendNeededLevels is NeededLevels appending into caller-provided slices
+// (pass x[:0] to reuse capacity); the zero-allocation step path uses it.
+func AppendNeededLevels(topDst, bottomDst []int, s *hierarchy.Strings, n int) (topLevels, bottomLevels []int) {
 	split := LevelSplit(n)
 	for j := 0; j < s.Levels(); j++ {
 		if s.Roots[j] == hierarchy.RootsNone {
 			continue
 		}
 		if j >= split {
-			topLevels = append(topLevels, j)
+			topDst = append(topDst, j)
 		} else {
-			bottomLevels = append(bottomLevels, j)
+			bottomDst = append(bottomDst, j)
 		}
 	}
-	return
+	return topDst, bottomDst
 }

@@ -47,7 +47,10 @@ type State struct {
 	Alarm    bool
 }
 
-// BitSize measures the dynamic train state.
+// BitSize measures the dynamic train state. Audited field-complete against
+// the struct (Up, UpNext, Down incl. Flag, Reset, ResetAck, Timer, and the
+// cycle-set check block) when the verifier's AlarmCode under-count was
+// fixed.
 func (s *State) BitSize() int {
 	return bits.Sum(
 		1, bits.ForInt(int64(s.Up.Pos)), pieceBits(s.Up.P),
@@ -95,7 +98,7 @@ type Ctx struct {
 
 // Budget returns the cycle budget: a healthy cycle (convergecast +
 // broadcast + reset flush) completes well within it.
-func (c *Ctx) Budget() int { return 8*(c.Lab.K+c.Lab.DiamBound) + 24 }
+func (c *Ctx) Budget() int { return c.Lab.CycleBudget() }
 
 // inPart reports whether the peer belongs to the same part.
 func inPart(c *Ctx, p *PeerTrain) bool {
@@ -104,11 +107,23 @@ func inPart(c *Ctx, p *PeerTrain) bool {
 
 // Step computes the next train state. It never mutates its inputs.
 func Step(old *State, c *Ctx) *State {
-	s := *old
+	s := new(State)
+	StepInto(s, old, c)
+	return s
+}
+
+// StepInto computes the next train state into dst — the recycled-memory
+// variant of Step (State has no reference fields, so recycling is a plain
+// overwrite). dst must not alias old or any peer state reachable from c.
+// Inputs are never mutated.
+func StepInto(dst *State, old *State, c *Ctx) {
+	*dst = *old
+	s := dst
 	l := c.Lab
 	if l.K == 0 {
 		// Empty train: hold a quiescent state.
-		return &State{}
+		*s = State{}
+		return
 	}
 	isRoot := l.PartRootID == c.OwnID
 	parentIn := !isRoot && inPart(c, c.Parent)
@@ -209,7 +224,6 @@ func Step(old *State, c *Ctx) *State {
 			}
 		}
 	}
-	return &s
 }
 
 // flush clears the convergecast machinery during a reset.

@@ -1,0 +1,164 @@
+package verify
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+	"ssmst/internal/runtime"
+)
+
+// TestInPlaceMatchesClone asserts the verifier's InPlaceStepper fast path
+// is bit-identical to the clone path — serial and parallel-forced — through
+// a quiet phase, a multi-layer fault, detection, and the alarmed steady
+// state. CI runs it under -race, which also exercises the worker pool over
+// the scratch-carrying Views.
+func TestInPlaceMatchesClone(t *testing.T) {
+	g := graph.RandomConnected(64, 160, 5)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Machine{Mode: Sync, Labeled: l}
+	clone := runtime.New(g, runtime.WithoutInPlace(m), 3)
+	inplace := runtime.New(g, m, 3)
+	par := runtime.New(g, m, 3)
+	par.Parallel = true
+	par.ParallelThreshold = 1 // fan out below the default threshold
+	par.ForcePool = true      // even on a single-core host
+	engines := []*runtime.Engine{clone, inplace, par}
+
+	compare := func(r int) {
+		t.Helper()
+		for v := 0; v < g.N(); v++ {
+			want := clone.State(v)
+			if !reflect.DeepEqual(want, inplace.State(v)) {
+				t.Fatalf("round %d node %d: in-place state diverged from clone path", r, v)
+			}
+			if !reflect.DeepEqual(want, par.State(v)) {
+				t.Fatalf("round %d node %d: parallel in-place state diverged from clone path", r, v)
+			}
+		}
+		if clone.MaxStateBits() != inplace.MaxStateBits() || clone.MaxStateBits() != par.MaxStateBits() {
+			t.Fatalf("round %d: maxBits diverged: clone %d in-place %d parallel %d",
+				r, clone.MaxStateBits(), inplace.MaxStateBits(), par.MaxStateBits())
+		}
+	}
+	for r := 0; r < 40; r++ {
+		for _, e := range engines {
+			e.StepSync()
+		}
+		compare(r)
+	}
+
+	// Inject the same multi-layer fault on every engine and keep comparing
+	// through detection and the alarmed steady state.
+	rng := rand.New(rand.NewSource(9))
+	victim := rng.Intn(g.N())
+	for _, e := range engines {
+		e.Corrupt(victim, func(s runtime.State) runtime.State {
+			vs := s.(*VState)
+			vs.L.SP.Dist += 3
+			if len(vs.L.HS.Roots) > 0 {
+				vs.L.HS.Roots[0] = hierarchy.RootsNone // violates RS3
+			}
+			return vs
+		})
+	}
+	detected := false
+	for r := 0; r < 200; r++ {
+		for _, e := range engines {
+			e.StepSync()
+		}
+		compare(40 + r)
+		if _, bad := clone.AnyAlarm(); bad {
+			detected = true
+		}
+	}
+	if !detected {
+		t.Fatal("fault was never detected; the comparison did not exercise the alarm paths")
+	}
+}
+
+// TestVStateCloneIndependence mutates every nested reference of a clone and
+// asserts the original is untouched — the guard that keeps Clone (and the
+// CopyFrom the in-place path builds on) a deep copy, so recycled scratch
+// states can never alias a live one.
+func TestVStateCloneIndependence(t *testing.T) {
+	g := graph.RandomConnected(32, 80, 7)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a node that stores pieces so the Stored slices are exercised.
+	node := -1
+	for v := 0; v < g.N(); v++ {
+		if len(l.Labels[v].Train.Top.Stored)+len(l.Labels[v].Train.Bottom.Stored) > 0 {
+			node = v
+			break
+		}
+	}
+	if node < 0 {
+		t.Fatal("no node with stored pieces")
+	}
+	orig := &VState{MyID: g.ID(node), ParentPort: 0, L: l.Labels[node].Clone()}
+	orig.TopS.UpNext = 4 // some non-zero dynamic state
+	// Reference snapshot built from a second, fully independent marker run
+	// (Mark is deterministic) — if Clone aliased, a clone-built snapshot
+	// would alias the same memory and hide the corruption.
+	l2, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := &VState{MyID: g.ID(node), ParentPort: 0, L: l2.Labels[node].Clone()}
+	pristine.TopS.UpNext = 4
+
+	for name, dup := range map[string]*VState{
+		"Clone":    orig.Clone().(*VState),
+		"CopyFrom": func() *VState { c := new(VState); c.CopyFrom(orig); return c }(),
+	} {
+		if !reflect.DeepEqual(orig, dup) {
+			t.Fatalf("%s: copy differs from original before mutation", name)
+		}
+		dup.L.SP.Dist = 91919
+		dup.L.Size.N = 91919
+		if len(dup.L.HS.Roots) > 0 {
+			dup.L.HS.Roots[0] = 'Z'
+			dup.L.HS.EndP[0] = 'Z'
+			dup.L.HS.Parents[0] = !dup.L.HS.Parents[0]
+			dup.L.HS.OrEndP[0] = !dup.L.HS.OrEndP[0]
+		}
+		for _, lab := range []*VState{dup} {
+			for _, tl := range []*[]hierarchy.Piece{&lab.L.Train.Top.Stored, &lab.L.Train.Bottom.Stored} {
+				if len(*tl) > 0 {
+					(*tl)[0].ID.RootID = 424242
+					(*tl)[0].W = 424242
+				}
+			}
+		}
+		dup.L.Train.Top.K = 91919
+		dup.TopS.UpNext = 91919
+		dup.BotS.CovMask = ^uint64(0)
+		dup.AlarmFlag = !dup.AlarmFlag
+
+		if !reflect.DeepEqual(orig, pristine) {
+			t.Fatalf("%s: mutating the copy changed the original", name)
+		}
+	}
+}
+
+// TestAlarmCodeString locks the hoisted name table and the code-qualified
+// fallback for out-of-range values.
+func TestAlarmCodeString(t *testing.T) {
+	if got := AlarmSampler.String(); got != "sampler" {
+		t.Fatalf("AlarmSampler.String() = %q", got)
+	}
+	if got := AlarmNone.String(); got != "none" {
+		t.Fatalf("AlarmNone.String() = %q", got)
+	}
+	if got := AlarmCode(200).String(); got != "AlarmCode(200)" {
+		t.Fatalf("out-of-range String() = %q", got)
+	}
+}

@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"strconv"
+
 	"ssmst/internal/bits"
 	"ssmst/internal/graph"
 	"ssmst/internal/hierarchy"
@@ -60,14 +62,20 @@ const (
 	AlarmCoverageStatic
 	AlarmTrainCycle
 	AlarmSampler
+	numAlarmCodes
 )
 
+// alarmCodeNames is hoisted to package level: String runs inside experiment
+// hot loops, and a per-call slice literal allocates.
+var alarmCodeNames = [numAlarmCodes]string{
+	"none", "neighbour", "sp", "size", "strings", "trainlabels", "coverage", "traincycle", "sampler",
+}
+
 func (c AlarmCode) String() string {
-	names := []string{"none", "neighbour", "sp", "size", "strings", "trainlabels", "coverage", "traincycle", "sampler"}
-	if int(c) < len(names) {
-		return names[c]
+	if int(c) < len(alarmCodeNames) {
+		return alarmCodeNames[c]
 	}
-	return "?"
+	return "AlarmCode(" + strconv.Itoa(int(c)) + ")"
 }
 
 // Alarm implements runtime.Alarmer.
@@ -80,7 +88,26 @@ func (s *VState) Clone() runtime.State {
 	return &c
 }
 
+// CopyFrom makes s a deep copy of src, recycling s's label buffers — the
+// in-place counterpart of Clone. s must not alias src.
+func (s *VState) CopyFrom(src *VState) {
+	l := s.L
+	*s = *src
+	switch {
+	case src.L == nil:
+		s.L = nil
+	case l == nil:
+		s.L = src.L.Clone()
+	default:
+		l.CopyFrom(src.L)
+		s.L = l
+	}
+}
+
 // BitSize measures the node's full memory: labels, trains and sampler.
+// Every stored field is counted — including the alarm attribution code,
+// which lives in node memory like the flag it refines (omitting it would
+// under-report the paper's compactness measurement).
 func (s *VState) BitSize() int {
 	return bits.Sum(
 		bits.ForInt(int64(s.MyID)),
@@ -96,7 +123,8 @@ func (s *VState) BitSize() int {
 		bits.ForInt(int64(s.ServerCur)),
 		bits.ForInt(int64(s.ServerTmr)),
 		1, bits.ForInt(int64(s.Want.ServerID)), bits.ForInt(int64(s.Want.Level)),
-		1,
+		1,                                // AlarmFlag
+		bits.ForEnum(int(numAlarmCodes)), // AlarmCode
 	)
 }
 
@@ -109,8 +137,9 @@ func pieceSize(p hierarchy.Piece) int {
 }
 
 var (
-	_ runtime.Machine = (*Machine)(nil)
-	_ runtime.Alarmer = (*VState)(nil)
+	_ runtime.Machine        = (*Machine)(nil)
+	_ runtime.InPlaceStepper = (*Machine)(nil)
+	_ runtime.Alarmer        = (*VState)(nil)
 )
 
 // NodeView is the window one verifier step needs; the self-stabilizing
@@ -159,13 +188,91 @@ func (m *Machine) Init(v *runtime.View) runtime.State {
 	}
 }
 
-// Step implements runtime.Machine for standalone verification runs.
-func (m *Machine) Step(v *runtime.View) runtime.State { return m.StepCore(runtimeView{v}) }
+// Scratch holds the reusable per-worker temporaries of one verifier step:
+// neighbour lists, per-layer label views, the train contexts and the level
+// cursors. A Scratch may be reused across nodes and rounds — its contents
+// are rebuilt from the View every step and carry memory, never data — but
+// must not be shared concurrently; the engine's per-View machine-scratch
+// slot provides exactly that lifetime.
+type Scratch struct {
+	nbs       []nbList
+	allSP     []*labeling.SPLabel
+	allSize   []*labeling.SizeLabel
+	childSize []*labeling.SizeLabel
+	lv        hierarchy.LocalView
+	tnbs      []train.NeighbourLabels
+	ctx       train.Ctx
+	levels    []int
+	needTop   []int
+	needBot   []int
 
-// StepCore runs one verifier round at one node.
+	// parentPeer backs ctx.Parent so building a context allocates nothing.
+	parentPeer train.PeerTrain
+
+	// wanted is the Async-mode Want predicate. It is allocated once per
+	// Scratch and re-aimed each step through self — closing over the
+	// step's VState directly would allocate a fresh closure per step.
+	wanted func(level int) bool
+	self   *VState
+}
+
+func (sc *Scratch) wantedFn() func(level int) bool {
+	if sc.wanted == nil {
+		sc.wanted = func(level int) bool {
+			for q := range sc.nbs {
+				if sc.nbs[q].ok {
+					w := sc.nbs[q].st.Want
+					if w.Valid && w.ServerID == sc.self.MyID && w.Level == level {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+	return sc.wanted
+}
+
+// scratchFor returns the View's verifier Scratch, installing one on first
+// use (or when a different machine type last used this View).
+func scratchFor(v *runtime.View) *Scratch {
+	if sc, ok := v.MachineScratch().(*Scratch); ok {
+		return sc
+	}
+	sc := new(Scratch)
+	v.SetMachineScratch(sc)
+	return sc
+}
+
+// Step implements runtime.Machine for standalone verification runs.
+func (m *Machine) Step(v *runtime.View) runtime.State {
+	return m.StepInto(new(VState), runtimeView{v}, scratchFor(v))
+}
+
+// StepInPlace implements runtime.InPlaceStepper: the next state is written
+// into the recycled two-rounds-old VState (reusing its NodeLabels buffers)
+// and the per-View Scratch supplies every temporary, so the steady-state
+// round loop allocates nothing.
+func (m *Machine) StepInPlace(v *runtime.View, scratch runtime.State) runtime.State {
+	dst, ok := scratch.(*VState)
+	if !ok || dst == nil {
+		dst = new(VState)
+	}
+	return m.StepInto(dst, runtimeView{v}, scratchFor(v))
+}
+
+// StepCore runs one verifier round at one node into a fresh state.
 func (m *Machine) StepCore(v NodeView) *VState {
+	return m.StepInto(new(VState), v, new(Scratch))
+}
+
+// StepInto runs one verifier round at one node, writing the next state into
+// dst. dst's buffers are recycled; it must not alias v.Self() or any
+// neighbour state. sc supplies every temporary the step needs.
+func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	old := v.Self()
-	s := old.Clone().(*VState)
+	dst.CopyFrom(old)
+	s := dst
 	alarm := false
 	code := AlarmNone
 	setAlarm := func(c AlarmCode) {
@@ -184,16 +291,17 @@ func (m *Machine) StepCore(v NodeView) *VState {
 	deg := v.Degree()
 
 	// ---- Derive tree relations from the components. ----
-	nbs := make([]nbList, deg)
+	sc.nbs = sc.nbs[:0]
 	for q := 0; q < deg; q++ {
 		st := v.Neighbour(q)
 		if st == nil || st.L == nil {
-			nbs[q] = nbList{}
+			sc.nbs = append(sc.nbs, nbList{})
 			setAlarm(AlarmNeighbour) // a neighbour is not running the verifier
 			continue
 		}
-		nbs[q] = nbList{st: st, ok: true, isChild: st.ParentPort == v.PeerPort(q)}
+		sc.nbs = append(sc.nbs, nbList{st: st, ok: true, isChild: st.ParentPort == v.PeerPort(q)})
 	}
+	nbs := sc.nbs
 	isRoot := s.ParentPort < 0
 	var parent *VState
 	if !isRoot {
@@ -207,80 +315,80 @@ func (m *Machine) StepCore(v NodeView) *VState {
 
 	// ---- Layer 1: SP + NumK. ----
 	var parentSP *labeling.SPLabel
-	var allSP []*labeling.SPLabel
-	var allSize, childSize []*labeling.SizeLabel
+	sc.allSP, sc.allSize, sc.childSize = sc.allSP[:0], sc.allSize[:0], sc.childSize[:0]
 	for q := 0; q < deg; q++ {
 		if !nbs[q].ok {
 			continue
 		}
-		allSP = append(allSP, &nbs[q].st.L.SP)
-		allSize = append(allSize, &nbs[q].st.L.Size)
+		sc.allSP = append(sc.allSP, &nbs[q].st.L.SP)
+		sc.allSize = append(sc.allSize, &nbs[q].st.L.Size)
 		if nbs[q].isChild {
-			childSize = append(childSize, &nbs[q].st.L.Size)
+			sc.childSize = append(sc.childSize, &nbs[q].st.L.Size)
 		}
 	}
 	if parent != nil {
 		parentSP = &parent.L.SP
 	}
-	if err := labeling.CheckSP(&s.L.SP, s.MyID, parentSP, allSP); err != nil {
+	if err := labeling.CheckSP(&s.L.SP, s.MyID, parentSP, sc.allSP); err != nil {
 		setAlarm(AlarmSP)
 	}
-	if err := labeling.CheckSize(&s.L.Size, isRoot, childSize, allSize); err != nil {
+	if err := labeling.CheckSize(&s.L.Size, isRoot, sc.childSize, sc.allSize); err != nil {
 		setAlarm(AlarmSize)
 	}
 
 	// ---- Layer 2: hierarchy strings (RS/EPS/Or_EndP). ----
-	lv := &hierarchy.LocalView{
-		Ell:        labeling.Ell(n),
-		IsTreeRoot: isRoot,
-		Own:        &s.L.HS,
-	}
+	sc.lv.Ell = labeling.Ell(n)
+	sc.lv.IsTreeRoot = isRoot
+	sc.lv.Own = &s.L.HS
+	sc.lv.Parent = nil
+	sc.lv.Children = sc.lv.Children[:0]
 	if parent != nil {
-		lv.Parent = &parent.L.HS
+		sc.lv.Parent = &parent.L.HS
 	}
 	for q := 0; q < deg; q++ {
 		if nbs[q].ok && nbs[q].isChild {
-			lv.Children = append(lv.Children, &nbs[q].st.L.HS)
+			sc.lv.Children = append(sc.lv.Children, &nbs[q].st.L.HS)
 		}
 	}
-	if len(hierarchy.CheckLocal(lv)) > 0 {
+	if len(hierarchy.CheckLocal(&sc.lv)) > 0 {
 		setAlarm(AlarmStrings)
 	}
 
 	// ---- Layer 3: train position labels. ----
-	var tnbs []train.NeighbourLabels
+	sc.tnbs = sc.tnbs[:0]
 	for q := 0; q < deg; q++ {
 		if !nbs[q].ok {
 			continue
 		}
-		tnbs = append(tnbs, train.NeighbourLabels{
+		sc.tnbs = append(sc.tnbs, train.NeighbourLabels{
 			IsParent: parent != nil && q == s.ParentPort,
 			IsChild:  nbs[q].isChild,
 			Port:     q,
 			L:        &nbs[q].st.L.Train,
 		})
 	}
-	if err := train.CheckLabels(&s.L.Train, s.MyID, isRoot, n, tnbs); err != nil {
+	if err := train.CheckLabels(&s.L.Train, s.MyID, isRoot, n, sc.tnbs); err != nil {
 		setAlarm(AlarmTrainLabels)
 	}
 
 	// ---- Layer 4: the trains. ----
-	topNeed, botNeed := train.NeededLevels(&s.L.HS, n)
-	if staticCoverageAlarm(&s.L.Train.Top, &s.TopS, topNeed, &s.L.HS, true, n) {
+	sc.needTop, sc.needBot = train.AppendNeededLevels(sc.needTop[:0], sc.needBot[:0], &s.L.HS, n)
+	if staticCoverageAlarm(&s.L.Train.Top, &s.TopS, sc.needTop, &s.L.HS, true, n) {
 		setAlarm(AlarmCoverageStatic)
 	}
-	if staticCoverageAlarm(&s.L.Train.Bottom, &s.BotS, botNeed, &s.L.HS, false, n) {
+	if staticCoverageAlarm(&s.L.Train.Bottom, &s.BotS, sc.needBot, &s.L.HS, false, n) {
 		setAlarm(AlarmCoverageStatic)
 	}
-	s.TopS = *train.Step(&old.TopS, m.trainCtx(v, s, old, nbs, parent, true))
-	s.BotS = *train.Step(&old.BotS, m.trainCtx(v, s, old, nbs, parent, false))
+	train.StepInto(&s.TopS, &old.TopS, m.trainCtx(sc, s, nbs, parent, true))
+	train.StepInto(&s.BotS, &old.BotS, m.trainCtx(sc, s, nbs, parent, false))
 	if s.TopS.Alarm || s.BotS.Alarm {
 		setAlarm(AlarmTrainCycle)
 	}
 
 	// ---- Layer 5: the Ask/Show sampler with C1/C2 and piece equality. ----
 	samplerAlarm := false
-	m.sampler(v, s, nbs, n, &samplerAlarm)
+	sc.levels = appendClaimedLevels(sc.levels[:0], &s.L.HS)
+	m.sampler(v, s, nbs, sc.levels, n, &samplerAlarm)
 	if samplerAlarm {
 		setAlarm(AlarmSampler)
 	}
@@ -310,9 +418,13 @@ func staticCoverageAlarm(l *train.Labels, st *train.State, need []int, hs *hiera
 	return false
 }
 
-// trainCtx assembles the train step context for one side.
-func (m *Machine) trainCtx(v NodeView, s *VState, old *VState, nbs []nbList, parent *VState, top bool) *train.Ctx {
-	ctx := &train.Ctx{
+// trainCtx assembles the train step context for one side in sc's reusable
+// context. The two sides are stepped sequentially, so one context (and one
+// Children buffer, and one parent PeerTrain slot) serves both.
+func (m *Machine) trainCtx(sc *Scratch, s *VState, nbs []nbList, parent *VState, top bool) *train.Ctx {
+	ctx := &sc.ctx
+	children := ctx.Children[:0]
+	*ctx = train.Ctx{
 		OwnID:   s.MyID,
 		Strings: &s.L.HS,
 		N:       s.L.Size.N,
@@ -324,28 +436,21 @@ func (m *Machine) trainCtx(v NodeView, s *VState, old *VState, nbs []nbList, par
 		ctx.Lab = &s.L.Train.Bottom
 	}
 	if parent != nil {
-		ctx.Parent = &train.PeerTrain{S: trainSide(parent, top), L: labelSide(parent, top)}
+		sc.parentPeer = train.PeerTrain{S: trainSide(parent, top), L: labelSide(parent, top)}
+		ctx.Parent = &sc.parentPeer
 	}
 	for q := range nbs {
 		if nbs[q].ok && nbs[q].isChild {
-			ctx.Children = append(ctx.Children, train.PeerTrain{
+			children = append(children, train.PeerTrain{
 				S: trainSide(nbs[q].st, top),
 				L: labelSide(nbs[q].st, top),
 			})
 		}
 	}
+	ctx.Children = children
 	if m.Mode == Async {
-		ctx.Wanted = func(level int) bool {
-			for q := range nbs {
-				if nbs[q].ok {
-					w := nbs[q].st.Want
-					if w.Valid && w.ServerID == s.MyID && w.Level == level {
-						return true
-					}
-				}
-			}
-			return false
-		}
+		sc.self = s
+		ctx.Wanted = sc.wantedFn()
 	}
 	return ctx
 }

@@ -52,6 +52,15 @@ func (l *NodeLabels) Clone() *NodeLabels {
 	}
 }
 
+// CopyFrom makes l a deep copy of src, reusing l's string and piece buffers
+// — the recycled-memory counterpart of Clone used by the in-place step path.
+func (l *NodeLabels) CopyFrom(src *NodeLabels) {
+	l.SP = src.SP
+	l.Size = src.Size
+	l.HS.CopyFrom(&src.HS)
+	l.Train.CopyFrom(&src.Train)
+}
+
 // Labeled is a fully marked instance: the subject tree (the components) and
 // every node's labels.
 type Labeled struct {

@@ -21,10 +21,26 @@ type Runner struct {
 
 // NewRunner builds an engine with the marker's labels installed. Synchronous
 // rounds fan out over the shared worker pool at large n (bit-identical to
-// serial stepping; see the runtime package doc).
+// serial stepping; see the runtime package doc) and run on the in-place
+// zero-allocation fast path.
 func NewRunner(l *Labeled, mode Mode, seed int64) *Runner {
+	return newRunner(l, mode, seed, false)
+}
+
+// NewClonePathRunner is NewRunner with the InPlaceStepper fast path
+// disabled (runtime.WithoutInPlace): the clone-per-step reference
+// configuration for measuring — and cross-checking — the in-place engine.
+func NewClonePathRunner(l *Labeled, mode Mode, seed int64) *Runner {
+	return newRunner(l, mode, seed, true)
+}
+
+func newRunner(l *Labeled, mode Mode, seed int64, clonePath bool) *Runner {
 	m := &Machine{Mode: mode, Labeled: l}
-	eng := runtime.New(l.G, m, seed)
+	var mm runtime.Machine = m
+	if clonePath {
+		mm = runtime.WithoutInPlace(m)
+	}
+	eng := runtime.New(l.G, mm, seed)
 	eng.Parallel = true
 	return &Runner{Labeled: l, Machine: m, Eng: eng, Async: mode == Async}
 }
@@ -121,82 +137,87 @@ const NumFaultKinds = int(numFaultKinds)
 func (r *Runner) InjectKind(v int, kind FaultKind, rng *rand.Rand) bool {
 	changed := false
 	r.Inject(v, func(s *VState) {
-		switch kind {
-		case FaultStoredPieceW:
-			// Prefer bottom pieces: every bottom-stored piece's fragment is
-			// contained in its part, so the corruption is always observable.
-			// (A corrupted top replica in a part disjoint from its fragment
-			// leaves the configuration a valid proof of a true statement —
-			// the scheme rightly keeps accepting.)
-			for _, lab := range []*train.Labels{&s.L.Train.Bottom, &s.L.Train.Top} {
-				for i := range lab.Stored {
-					if lab.Stored[i].W != hierarchy.NoOutWeight {
-						lab.Stored[i].W += graph.Weight(1 + rng.Intn(5))
-						changed = true
-						return
-					}
-				}
-			}
-		case FaultStoredPieceID:
-			for _, lab := range []*train.Labels{&s.L.Train.Bottom, &s.L.Train.Top} {
-				if len(lab.Stored) > 0 {
-					lab.Stored[0].ID.RootID += graph.NodeID(1 + rng.Intn(1000))
-					changed = true
-					return
-				}
-			}
-		case FaultRootsEntry:
-			if len(s.L.HS.Roots) > 0 {
-				j := rng.Intn(len(s.L.HS.Roots))
-				old := s.L.HS.Roots[j]
-				for _, sym := range []byte{hierarchy.RootsYes, hierarchy.RootsNo, hierarchy.RootsNone} {
-					if sym != old {
-						s.L.HS.Roots[j] = sym
-						changed = true
-						return
-					}
-				}
-			}
-		case FaultEndPEntry:
-			if len(s.L.HS.EndP) > 0 {
-				j := rng.Intn(len(s.L.HS.EndP))
-				old := s.L.HS.EndP[j]
-				for _, sym := range []byte{hierarchy.EndPUp, hierarchy.EndPDown, hierarchy.EndPNone, hierarchy.EndPStar} {
-					if sym != old {
-						s.L.HS.EndP[j] = sym
-						changed = true
-						return
-					}
-				}
-			}
-		case FaultSPDist:
-			s.L.SP.Dist += 1 + rng.Intn(3)
-			changed = true
-		case FaultSizeN:
-			s.L.Size.N += 1 + rng.Intn(3)
-			changed = true
-		case FaultComponent:
-			deg := len(r.Labeled.G.Ports(v))
-			if deg > 0 {
-				old := s.ParentPort
-				s.ParentPort = (old + 1 + rng.Intn(deg)) % deg
-				changed = s.ParentPort != old
-			}
-		case FaultTrainDyn:
-			for _, ts := range []*train.State{&s.TopS, &s.BotS} {
-				ts.UpNext = rng.Intn(16)
-				ts.Up.Valid = rng.Intn(2) == 0
-				ts.Up.Pos = rng.Intn(16)
-				ts.Down.Valid = rng.Intn(2) == 0
-				ts.Down.Pos = rng.Intn(16)
-				ts.Down.P.ID.Level = rng.Intn(8)
-				ts.CovMask = rng.Uint64()
-				ts.LastPos = rng.Intn(16)
-			}
-			changed = true
-		}
+		changed = ApplyFault(s, kind, rng, len(r.Labeled.G.Ports(v)))
 	})
 	return changed
+}
+
+// ApplyFault mutates a verifier state with the given fault kind — the
+// injection core shared by Runner.InjectKind and by embeddings that carry
+// VStates inside composite states (the self-stabilizing transformer).
+// degree is the node's degree (used by FaultComponent). It reports whether
+// the state actually changed.
+func ApplyFault(s *VState, kind FaultKind, rng *rand.Rand, degree int) bool {
+	switch kind {
+	case FaultStoredPieceW:
+		// Prefer bottom pieces: every bottom-stored piece's fragment is
+		// contained in its part, so the corruption is always observable.
+		// (A corrupted top replica in a part disjoint from its fragment
+		// leaves the configuration a valid proof of a true statement —
+		// the scheme rightly keeps accepting.)
+		for _, lab := range []*train.Labels{&s.L.Train.Bottom, &s.L.Train.Top} {
+			for i := range lab.Stored {
+				if lab.Stored[i].W != hierarchy.NoOutWeight {
+					lab.Stored[i].W += graph.Weight(1 + rng.Intn(5))
+					return true
+				}
+			}
+		}
+	case FaultStoredPieceID:
+		for _, lab := range []*train.Labels{&s.L.Train.Bottom, &s.L.Train.Top} {
+			if len(lab.Stored) > 0 {
+				lab.Stored[0].ID.RootID += graph.NodeID(1 + rng.Intn(1000))
+				return true
+			}
+		}
+	case FaultRootsEntry:
+		if len(s.L.HS.Roots) > 0 {
+			j := rng.Intn(len(s.L.HS.Roots))
+			old := s.L.HS.Roots[j]
+			for _, sym := range []byte{hierarchy.RootsYes, hierarchy.RootsNo, hierarchy.RootsNone} {
+				if sym != old {
+					s.L.HS.Roots[j] = sym
+					return true
+				}
+			}
+		}
+	case FaultEndPEntry:
+		if len(s.L.HS.EndP) > 0 {
+			j := rng.Intn(len(s.L.HS.EndP))
+			old := s.L.HS.EndP[j]
+			for _, sym := range []byte{hierarchy.EndPUp, hierarchy.EndPDown, hierarchy.EndPNone, hierarchy.EndPStar} {
+				if sym != old {
+					s.L.HS.EndP[j] = sym
+					return true
+				}
+			}
+		}
+	case FaultSPDist:
+		s.L.SP.Dist += 1 + rng.Intn(3)
+		return true
+	case FaultSizeN:
+		s.L.Size.N += 1 + rng.Intn(3)
+		return true
+	case FaultComponent:
+		if degree > 0 {
+			old := s.ParentPort
+			s.ParentPort = (old + 1 + rng.Intn(degree)) % degree
+			return s.ParentPort != old
+		}
+	case FaultTrainDyn:
+		for _, ts := range []*train.State{&s.TopS, &s.BotS} {
+			ts.UpNext = rng.Intn(16)
+			ts.Up.Valid = rng.Intn(2) == 0
+			ts.Up.Pos = rng.Intn(16)
+			ts.Down.Valid = rng.Intn(2) == 0
+			ts.Down.Pos = rng.Intn(16)
+			ts.Down.P.ID.Level = rng.Intn(8)
+			ts.CovMask = rng.Uint64()
+			ts.LastPos = rng.Intn(16)
+		}
+		return true
+	}
+	return false
 }
 
 // DetectionDistance returns, for each fault location, the hop distance to

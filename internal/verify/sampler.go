@@ -26,8 +26,9 @@ import (
 // between activations (§7.2.2).
 
 // sampler advances the Ask/Show machinery by one step and feeds the alarm.
-func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, n int, alarm *bool) {
-	levels := claimedLevels(&s.L.HS)
+// levels is J(v) as computed by appendClaimedLevels (passed in so the
+// zero-allocation step path can reuse its buffer).
+func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n int, alarm *bool) {
 	if len(levels) == 0 {
 		s.AskValid = false
 		return
@@ -218,24 +219,23 @@ func dwellWindow(s *VState, nbs []nbList) int {
 }
 
 func trainBudget(nl *train.NodeLabels) int {
-	top := 8*(nl.Top.K+nl.Top.DiamBound) + 24
-	bot := 8*(nl.Bottom.K+nl.Bottom.DiamBound) + 24
+	top := nl.Top.CycleBudget()
+	bot := nl.Bottom.CycleBudget()
 	if top > bot {
 		return top
 	}
 	return bot
 }
 
-// claimedLevels lists J(v): the levels at which the strings claim a
-// fragment containing the node.
-func claimedLevels(hs *hierarchy.Strings) []int {
-	var out []int
+// appendClaimedLevels appends J(v) — the levels at which the strings claim
+// a fragment containing the node — to dst (pass x[:0] to reuse capacity).
+func appendClaimedLevels(dst []int, hs *hierarchy.Strings) []int {
 	for j := 0; j < hs.Levels(); j++ {
 		if hs.Roots[j] != hierarchy.RootsNone {
-			out = append(out, j)
+			dst = append(dst, j)
 		}
 	}
-	return out
+	return dst
 }
 
 // topSide reports whether level j rides the top train (the §8 delimiter).

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ssmst
+
+const raceEnabled = false

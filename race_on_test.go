@@ -1,0 +1,8 @@
+//go:build race
+
+package ssmst
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions skip under it (instrumentation perturbs the
+// allocator).
+const raceEnabled = true

@@ -85,15 +85,29 @@ func MarkTree(g *Graph, treeEdges []int) (*Labeled, error) {
 	return verify.MarkTree(g, treeEdges, false)
 }
 
-// NewVerifier builds a verification run over the labeled instance.
+// NewVerifier builds a verification run over the labeled instance. Rounds
+// run on the engine's zero-allocation in-place fast path.
 func NewVerifier(l *Labeled, mode Mode, seed int64) *Verifier {
 	return verify.NewRunner(l, mode, seed)
 }
 
+// NewVerifierClonePath is NewVerifier on the clone-per-step reference path
+// (the fast path disabled) — for perf comparisons and cross-checks.
+func NewVerifierClonePath(l *Labeled, mode Mode, seed int64) *Verifier {
+	return verify.NewClonePathRunner(l, mode, seed)
+}
+
 // NewSelfStabilizing builds a self-stabilizing MST run; bound is the
-// polynomial upper bound on n assumed by the reset substrate.
+// polynomial upper bound on n assumed by the reset substrate. Rounds run
+// on the engine's zero-allocation in-place fast path.
 func NewSelfStabilizing(g *Graph, bound int, mode Mode, seed int64) *SelfStabilizing {
 	return selfstab.NewRunner(g, bound, mode, seed)
+}
+
+// NewSelfStabilizingClonePath is NewSelfStabilizing on the clone-per-step
+// reference path — for perf comparisons and cross-checks.
+func NewSelfStabilizingClonePath(g *Graph, bound int, mode Mode, seed int64) *SelfStabilizing {
+	return selfstab.NewClonePathRunner(g, bound, mode, seed)
 }
 
 // IsMST reports whether the edge set is the minimum spanning tree of g.
