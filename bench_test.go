@@ -24,13 +24,16 @@ import (
 // BenchmarkEngineScaling measures the double-buffered stepping engine at
 // growing n, serial vs pooled-parallel, for both the Clone-per-step path
 // and the zero-allocation InPlaceStepper path — on the toy FloodMin
-// protocol, on the §7 verifier, and on the §10 transformer seeded into its
-// check phase. Acceptance: the in-place steady-state round loop reports 0
-// allocs/op on all three machines, and on ≥4 cores parallel is ≥2× faster
-// than serial (see runtime.TestParallelSpeedup for the asserted version;
-// parallel/serial and clone/in-place bit-equality are asserted by
+// protocol, on the §7 verifier (incremental, and with static-verdict
+// memoization disabled: "verify-fullrecheck"), and on the §10 transformer
+// seeded into its check phase. Acceptance: the in-place steady-state round
+// loop reports 0 allocs/op on all three machines, the incremental verifier
+// beats full re-check, and on ≥4 cores parallel is ≥2× faster than serial
+// (see runtime.TestParallelSpeedup for the asserted version; parallel/serial
+// and clone/in-place bit-equality are asserted by
 // runtime.TestParallelDeterminism, verify.TestInPlaceMatchesClone and
-// selfstab.TestInPlaceMatchesClone).
+// selfstab.TestInPlaceMatchesClone; incremental/full-recheck equality by
+// verify.TestIncrementalMatchesFullRecheck).
 func BenchmarkEngineScaling(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096, 16384} {
 		g := graph.RandomConnected(n, 3*n, 1)
@@ -45,8 +48,8 @@ func BenchmarkEngineScaling(b *testing.B) {
 			}
 			return labeled
 		}
-		verifier := func(b *testing.B, wrap bool) *runtime.Engine {
-			var m runtime.Machine = &verify.Machine{Mode: verify.Sync, Labeled: lab(b)}
+		verifier := func(b *testing.B, wrap, fullRecheck bool) *runtime.Engine {
+			var m runtime.Machine = &verify.Machine{Mode: verify.Sync, Labeled: lab(b), FullRecheck: fullRecheck}
 			if wrap {
 				m = runtime.WithoutInPlace(m)
 			}
@@ -70,9 +73,10 @@ func BenchmarkEngineScaling(b *testing.B) {
 			{"parallel", true, func(*testing.B) *runtime.Engine { return runtime.New(g, runtime.FloodMin{}, 1) }},
 			{"serial-clone", false, func(*testing.B) *runtime.Engine { return runtime.New(g, runtime.FloodMinClone{}, 1) }},
 			{"parallel-clone", true, func(*testing.B) *runtime.Engine { return runtime.New(g, runtime.FloodMinClone{}, 1) }},
-			{"verify", false, func(b *testing.B) *runtime.Engine { return verifier(b, false) }},
-			{"verify-parallel", true, func(b *testing.B) *runtime.Engine { return verifier(b, false) }},
-			{"verify-clone", false, func(b *testing.B) *runtime.Engine { return verifier(b, true) }},
+			{"verify", false, func(b *testing.B) *runtime.Engine { return verifier(b, false, false) }},
+			{"verify-parallel", true, func(b *testing.B) *runtime.Engine { return verifier(b, false, false) }},
+			{"verify-fullrecheck", false, func(b *testing.B) *runtime.Engine { return verifier(b, false, true) }},
+			{"verify-clone", false, func(b *testing.B) *runtime.Engine { return verifier(b, true, true) }},
 			{"selfstab", false, func(b *testing.B) *runtime.Engine { return transformer(b, false) }},
 			{"selfstab-clone", false, func(b *testing.B) *runtime.Engine { return transformer(b, true) }},
 		} {

@@ -1,14 +1,18 @@
 // Command benchjson emits the repository's perf-trajectory snapshot as
 // machine-readable JSON: ns/round, allocs/round and B/round of the §7
-// verifier machine at n ∈ {1024, 4096, 16384}, on both the in-place fast
-// path and the clone path. CI's bench-smoke job runs it and uploads the
-// file as an artifact, so successive PRs accumulate comparable numbers
-// instead of prose claims. The measurement itself is
-// core.MeasureVerifierRound — the same code that produces the E14b table.
+// verifier machine at n ∈ {1024, 4096, 16384}, across the three step
+// configurations — the clone reference path, the in-place fast path with
+// every label layer re-checked each round ("full-recheck", the PR2
+// configuration), and the in-place incremental verifier ("incremental",
+// static label verdicts memoized and re-checked only on neighbourhood
+// change). CI's bench-smoke job runs it and uploads the file as an
+// artifact, so successive PRs accumulate comparable numbers instead of
+// prose claims. The measurement itself is core.MeasureVerifierRound — the
+// same code that produces the E14b table.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -out BENCH_pr2.json -rounds 30
+//	go run ./cmd/benchjson -out BENCH_pr3.json -rounds 30
 package main
 
 import (
@@ -27,7 +31,7 @@ import (
 // Result is one measured configuration.
 type Result struct {
 	N    int    `json:"n"`
-	Path string `json:"path"` // "inplace" | "clone"
+	Path string `json:"path"` // "incremental" | "full-recheck" | "clone"
 	core.RoundCost
 }
 
@@ -41,7 +45,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr2.json", "output file")
+	out := flag.String("out", "BENCH_pr3.json", "output file")
 	rounds := flag.Int("rounds", 30, "measured rounds per configuration")
 	flag.Parse()
 
@@ -57,15 +61,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("mark n=%d: %v", n, err)
 		}
-		for _, inplace := range []bool{true, false} {
-			path := "inplace"
-			if !inplace {
-				path = "clone"
-			}
+		for _, cfg := range []struct {
+			path                 string
+			inplace, fullRecheck bool
+		}{
+			{"incremental", true, false},
+			{"full-recheck", true, true},
+			{"clone", false, true},
+		} {
 			rep.Results = append(rep.Results, Result{
 				N:         n,
-				Path:      path,
-				RoundCost: core.MeasureVerifierRound(g, l, inplace, *rounds, 1),
+				Path:      cfg.path,
+				RoundCost: core.MeasureVerifierRound(g, l, cfg.inplace, cfg.fullRecheck, *rounds, 1),
 			})
 		}
 	}

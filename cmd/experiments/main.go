@@ -15,9 +15,48 @@ import (
 	"ssmst/internal/core"
 )
 
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `experiments — regenerate the paper's measured tables (EXPERIMENTS.md).
+
+Each experiment maps to one table/figure of Korman–Kutten–Masuzawa (see
+DESIGN.md §4); tables print as Markdown on stdout.
+
+Usage:
+
+  go run ./cmd/experiments [-exp name] [-seed n]
+
+Flags:
+
+  -seed int   random seed shared by graph generation and fault sites
+              (default 1)
+  -exp name   which experiment to run (default "all"):
+
+    all               the default suite (every row below except the two
+                      long-running scaling experiments)
+    table1            Table 1 — space/time of the self-stabilizing MST vs
+                      the baseline classes (measured bits/node and rounds)
+    table2            Table 2 — Roots/EndP/Parents/Or_EndP strings on the
+                      Figure 1 example, checked against the paper
+    detection         E3 — synchronous detection time (O(log² n))
+    detectionasync    E4 — asynchronous detection time (O(Δ·log³ n))
+    detectionscaling  E3/E12 past n=10⁴ on the incremental in-place engine
+                      (minutes of wall clock; not part of "all")
+    distance          E5 — fault-to-alarm distance (O(f·log n))
+    construction      E6 — SYNC_MST vs GHS construction rounds and memory
+    memory            E7 — label bits: this scheme (O(log n)) vs KK (log² n)
+    partitions        E9 — partition shape (Lemmas 6.4/6.5)
+    selfstab          E12/E13 — stabilization and fault recovery (O(n))
+    lowerbound        E8 — §9 stretched instances: time × memory tradeoff
+    enginescaling     E14/E14b — engine rounds at growing n, serial vs
+                      parallel, plus verifier round cost (clone vs full
+                      re-check vs incremental; minutes of wall clock)
+`)
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|detectionscaling|distance|construction|memory|partitions|selfstab|lowerbound|enginescaling")
 	seed := flag.Int64("seed", 1, "random seed")
+	flag.Usage = usage
 	flag.Parse()
 
 	var tables []*core.Table

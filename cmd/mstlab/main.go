@@ -12,10 +12,64 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"ssmst"
 	"ssmst/internal/verify"
 )
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `mstlab — single-run driver for the KKM self-stabilizing MST reproduction.
+
+Generates a connected random graph, constructs the MST (SYNC_MST, §4),
+assigns the O(log n)-bit proof labels (§5–7), runs the distributed verifier
+(§8), optionally injects a fault, and reports the paper's quantities
+(rounds, bits/node, detection time and distance). With -selfstab it runs
+the §10 self-stabilizing construction instead.
+
+Usage:
+
+  go run ./cmd/mstlab [flags]
+
+Examples:
+
+  go run ./cmd/mstlab -n 64 -m 160 -seed 3            # quiet verification
+  go run ./cmd/mstlab -n 64 -fault roots -async        # detect a §5 fault
+  go run ./cmd/mstlab -selfstab -n 32                  # full §10 stabilization
+  go run ./cmd/mstlab -n 4096 -serial -fullrecheck     # reference step path
+
+Graph flags:
+
+  -n int      number of nodes (default 48)
+  -m int      number of edges; 0 means 2.5·n (default 0)
+  -seed int   random seed for the graph, daemon and fault site (default 1)
+
+Run-mode flags:
+
+  -async      use the asynchronous weakly-fair daemon (§2.1) instead of
+              synchronous rounds; detection budgets scale to O(Δ·log³ n)
+  -selfstab   run the self-stabilizing transformer (§10) to stabilization
+              instead of the verify-only pipeline
+  -fault kind inject one fault after a warm-up quarter-budget and measure
+              detection time and distance. Kinds (each corrupts a different
+              label layer): piecew (stored piece's ω̂), pieceid (stored
+              piece's fragment id), roots (a Roots string entry, §5), endp
+              (an EndP entry, §5), spdist (SP distance, §2.6), sizen (the
+              NumK node count), component (re-point the parent pointer)
+
+Engine flags (the knobs BenchmarkEngineScaling measures):
+
+  -serial       disable worker-pool fan-out for synchronous rounds
+  -workers int  cap pool workers per round (0 = all pool workers); nonzero
+                also forces pool engagement even on one core (-serial wins)
+  -clone        disable the in-place fast path: the clone-per-step
+                reference engine (slower, allocates per round; implies
+                -fullrecheck — the clone path always re-checks everything)
+  -fullrecheck  disable incremental verification: re-check every label
+                layer every round instead of memoizing the static verdict
+                (the pre-incremental reference configuration)
+`)
+}
 
 func main() {
 	n := flag.Int("n", 48, "number of nodes")
@@ -27,6 +81,9 @@ func main() {
 	serial := flag.Bool("serial", false, "disable worker-pool fan-out for synchronous rounds")
 	workers := flag.Int("workers", 0, "cap pool workers per round (0: all); nonzero also forces pool engagement (-serial wins)")
 	clone := flag.Bool("clone", false, "disable the in-place fast path (clone-per-step reference engine)")
+	fullRecheck := flag.Bool("fullrecheck", false, "disable incremental verification (re-check all label layers every round)")
+	flag.Usage = usage
+	flag.CommandLine.SetOutput(os.Stderr)
 	flag.Parse()
 
 	tune := func(e *ssmst.Engine) {
@@ -47,9 +104,12 @@ func main() {
 
 	if *selfstab {
 		var r *ssmst.SelfStabilizing
-		if *clone {
+		switch {
+		case *clone:
 			r = ssmst.NewSelfStabilizingClonePath(g, g.N(), mode, *seed)
-		} else {
+		case *fullRecheck:
+			r = ssmst.NewSelfStabilizingFullRecheck(g, g.N(), mode, *seed)
+		default:
 			r = ssmst.NewSelfStabilizing(g, g.N(), mode, *seed)
 		}
 		tune(r.Eng)
@@ -71,9 +131,12 @@ func main() {
 	fmt.Printf("marker: %d rounds, max label bits=%d\n", labeled.ConstructionTime, labeled.MaxLabelBits())
 
 	var v *ssmst.Verifier
-	if *clone {
+	switch {
+	case *clone:
 		v = ssmst.NewVerifierClonePath(labeled, mode, *seed)
-	} else {
+	case *fullRecheck:
+		v = ssmst.NewVerifierFullRecheck(labeled, mode, *seed)
+	default:
 		v = ssmst.NewVerifier(labeled, mode, *seed)
 	}
 	tune(v.Eng)

@@ -543,9 +543,12 @@ type RoundCost struct {
 }
 
 // MeasureVerifierRound measures one verifier round over the whole network
-// at steady state, on the in-place fast path or the clone reference path.
-func MeasureVerifierRound(g *graph.Graph, l *verify.Labeled, inplace bool, rounds int, seed int64) RoundCost {
-	var m runtime.Machine = &verify.Machine{Mode: verify.Sync, Labeled: l}
+// at steady state, on the in-place fast path or the clone reference path,
+// with or without incremental static-verdict memoization (fullRecheck
+// disables it: the configuration every pre-incremental number was measured
+// in).
+func MeasureVerifierRound(g *graph.Graph, l *verify.Labeled, inplace, fullRecheck bool, rounds int, seed int64) RoundCost {
+	var m runtime.Machine = &verify.Machine{Mode: verify.Sync, Labeled: l, FullRecheck: fullRecheck}
 	if !inplace {
 		m = runtime.WithoutInPlace(m)
 	}
@@ -565,14 +568,18 @@ func MeasureVerifierRound(g *graph.Graph, l *verify.Labeled, inplace bool, round
 }
 
 // VerifierScaling measures the production machine the engine exists for:
-// one verifier round over the whole network at growing n, clone path vs
-// the in-place fast path (experiment E14b). This is the unit cost of every
-// detection-time figure; the in-place column is the one the large-n
-// experiments (DetectionScaling) run on.
+// one verifier round over the whole network at growing n — clone path,
+// in-place full re-check, and the in-place incremental verifier
+// (experiment E14b). This is the unit cost of every detection-time figure;
+// the incremental column is the one the large-n experiments
+// (DetectionScaling) run on.
 func VerifierScaling(sizes []int, rounds int, seed int64) *Table {
 	t := &Table{
-		Title:  "E14b — verifier round cost: clone path vs in-place fast path",
+		Title:  "E14b — verifier round cost: clone vs full re-check vs incremental",
 		Header: []string{"n", "path", "ns/round", "allocs/round", "B/round"},
+		Remarks: []string{
+			"incremental = in-place fast path + memoized static label layer (re-checked only when the neighbourhood's labels change); full-recheck = same engine, memoization disabled; all three are bit-identical in every protocol-visible field.",
+		},
 	}
 	for _, n := range sizes {
 		g := graph.RandomConnected(n, 3*n, seed)
@@ -580,14 +587,17 @@ func VerifierScaling(sizes []int, rounds int, seed int64) *Table {
 		if err != nil {
 			continue
 		}
-		for _, inplace := range []bool{false, true} {
-			path := "in-place"
-			if !inplace {
-				path = "clone"
-			}
-			c := MeasureVerifierRound(g, l, inplace, rounds, seed)
+		for _, cfg := range []struct {
+			path                 string
+			inplace, fullRecheck bool
+		}{
+			{"clone", false, true},
+			{"full-recheck", true, true},
+			{"incremental", true, false},
+		} {
+			c := MeasureVerifierRound(g, l, cfg.inplace, cfg.fullRecheck, rounds, seed)
 			t.Rows = append(t.Rows, []string{
-				fmt.Sprint(n), path,
+				fmt.Sprint(n), cfg.path,
 				fmt.Sprint(c.NsPerRound),
 				fmt.Sprint(c.AllocsPerRnd),
 				fmt.Sprint(c.BytesPerRound),

@@ -9,6 +9,11 @@
 // node additionally carries a unique identity ID(v) of O(log n) bits, which
 // is what the distributed algorithms see. Port numbers are local to a node:
 // the port of edge (u,v) at u is independent of its port at v.
+//
+// For hot step loops the adjacency is additionally available in flat CSR
+// form (Adjacency / Adj): per-port peer, peer-port and weight arrays laid
+// out struct-of-arrays, so a round over all nodes streams the neighbourhood
+// data instead of pointer-chasing per-node slices.
 package graph
 
 import (
@@ -44,6 +49,73 @@ type Graph struct {
 	idx   map[NodeID]int
 	adj   [][]Half
 	edges []Edge
+
+	// csr is the flattened adjacency (built lazily by Adjacency, invalidated
+	// by AddEdge); csrEdges is the edge count it was built at.
+	csr      *Adj
+	csrEdges int
+}
+
+// Adj is the graph's adjacency flattened into CSR (compressed sparse row)
+// form: one contiguous slot per half-edge, ordered by (node, port), with the
+// hot per-port fields — peer index, peer port, edge weight — stored as
+// struct-of-arrays. Hot step loops (the runtime View, the verifier's
+// neighbour scan) read these flat arrays instead of chasing the per-node
+// []Half slices: one dependent load per access instead of two, and
+// neighbouring ports of one node share cache lines.
+//
+// Node v's ports occupy slots Off[v]..Off[v+1]; Adj is limited to graphs
+// with fewer than 2³¹ nodes and edges (int32 indices keep Peer+PeerPort
+// within one cache line per 8 ports).
+//
+// The arrays are owned by the graph and must not be modified. An Adj is a
+// frozen snapshot: it reflects the graph at the time of the Adjacency call
+// and is safe for concurrent readers as long as no AddEdge intervenes.
+type Adj struct {
+	Off      []int32 // len n+1: node v's slots are [Off[v], Off[v+1])
+	Peer     []int32 // neighbour node index per slot
+	PeerPort []int32 // this edge's port number at the peer
+	Weight   []Weight
+	Edge     []int32 // index into Graph.Edges
+}
+
+// Degree returns the degree of node v.
+func (a *Adj) Degree(v int) int { return int(a.Off[v+1] - a.Off[v]) }
+
+// Adjacency returns the CSR form of the adjacency, building (or rebuilding,
+// after AddEdge) it on first use. Not safe to call concurrently with AddEdge
+// or with another first-use Adjacency call; engines freeze it once at
+// construction.
+func (g *Graph) Adjacency() *Adj {
+	if g.csr != nil && g.csrEdges == len(g.edges) {
+		return g.csr
+	}
+	n := g.N()
+	total := 0
+	for v := range g.adj {
+		total += len(g.adj[v])
+	}
+	a := &Adj{
+		Off:      make([]int32, n+1),
+		Peer:     make([]int32, total),
+		PeerPort: make([]int32, total),
+		Weight:   make([]Weight, total),
+		Edge:     make([]int32, total),
+	}
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		a.Off[v] = pos
+		for _, h := range g.adj[v] {
+			a.Peer[pos] = int32(h.Peer)
+			a.PeerPort[pos] = int32(h.PeerPort)
+			a.Weight[pos] = g.edges[h.Edge].W
+			a.Edge[pos] = int32(h.Edge)
+			pos++
+		}
+	}
+	a.Off[n] = pos
+	g.csr, g.csrEdges = a, len(g.edges)
+	return a
 }
 
 // New creates a graph with n nodes and the given identities. If ids is nil,

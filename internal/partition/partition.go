@@ -25,6 +25,7 @@ package partition
 
 import (
 	"fmt"
+	mbits "math/bits"
 	"sort"
 
 	"ssmst/internal/graph"
@@ -92,19 +93,17 @@ type Partitions struct {
 // split coincide exactly with a fragment-level boundary — fragments of
 // level ≥ log₂ λ are top, lower levels bottom — which is the delimiter the
 // verifier uses to route levels between the two trains (§8).
+// It is O(1): the verifier's hot paths (train membership, the sampler's
+// top/bottom routing) evaluate it per neighbour per round.
 func LambdaFor(n int) int {
-	l := 0
-	for 1<<uint(l) < n {
-		l++
+	if n <= 1 {
+		return 2
 	}
+	l := mbits.Len(uint(n - 1)) // ⌈log₂ n⌉
 	if l < 2 {
 		l = 2
 	}
-	lam := 2
-	for lam < l {
-		lam *= 2
-	}
-	return lam
+	return 1 << mbits.Len(uint(l-1)) // smallest power of two ≥ l (l ≥ 2)
 }
 
 // Compute builds both partitions and the piece placement for a validated

@@ -49,6 +49,17 @@
 // so AnyAlarm, AllDone and MaxStateBits are O(1) in the common case instead
 // of O(n) interface-assertion scans per round.
 //
+// The engine additionally tracks per-node dirty epochs for machines that
+// memoize part of their step: a machine calls View.MarkChanged when the
+// state it writes differs (in its tracked portion — e.g. the verifier's
+// label layers) from the node's current state, and SetState/Corrupt mark
+// implicitly; a later step asks View.NeighbourhoodChangedSince(epoch) to
+// decide whether a verdict memoized at that epoch is still valid. In-round
+// marks commit at the round boundary, so the dirty array is frozen during a
+// synchronous round and parallel stepping stays bit-identical to serial.
+// This is what makes the verifier's round cost proportional to change
+// rather than to n (see internal/verify).
+//
 // An Engine is not safe for concurrent use: Step* calls and state accessors
 // must be externally serialized. Distinct engines may step concurrently and
 // share the worker pool.
@@ -89,13 +100,18 @@ type Terminator interface {
 // degree, incident edge weights, and the states of its neighbours. Neighbour
 // states are read-only; Step implementations must not mutate them. Views are
 // reused across steps and must not be retained past the Step call.
+//
+// Topology accessors (Degree, Weight, PeerPort, Neighbour) read the graph's
+// frozen CSR adjacency (graph.Adj), so a step's neighbour scan streams flat
+// arrays instead of chasing per-node slices.
 type View struct {
 	engine  *Engine
 	node    int
 	snap    []State // states visible this step (previous round if synchronous)
 	rng     *rand.Rand
-	rngOK   bool // rng is seeded for the current (node, round)
-	scratch any  // per-View machine scratch; see MachineScratch
+	rngOK   bool    // rng is seeded for the current (node, round)
+	scratch any     // per-View machine scratch; see MachineScratch
+	pending []int32 // in-round dirty marks (MarkChanged), flushed per round
 }
 
 // MachineScratch returns the View's machine-scratch slot: a per-View (and
@@ -119,19 +135,23 @@ func (v *View) Node() int { return v.node }
 func (v *View) ID() graph.NodeID { return v.engine.g.ID(v.node) }
 
 // Degree returns the node's degree.
-func (v *View) Degree() int { return v.engine.g.Degree(v.node) }
+func (v *View) Degree() int {
+	a := v.engine.adj
+	return int(a.Off[v.node+1] - a.Off[v.node])
+}
 
 // Weight returns the weight of the edge at the given local port.
 func (v *View) Weight(port int) graph.Weight {
-	h := v.engine.g.Half(v.node, port)
-	return v.engine.g.Edge(h.Edge).W
+	a := v.engine.adj
+	return a.Weight[int(a.Off[v.node])+port]
 }
 
 // PeerPort returns the port number that the edge at my local port q carries
 // at the far endpoint. Port numbers are edge-local knowledge both endpoints
 // share (§2.1).
 func (v *View) PeerPort(q int) int {
-	return v.engine.g.Half(v.node, q).PeerPort
+	a := v.engine.adj
+	return int(a.PeerPort[int(a.Off[v.node])+q])
 }
 
 // Self returns the node's own current state (read-only).
@@ -140,7 +160,54 @@ func (v *View) Self() State { return v.snap[v.node] }
 // Neighbour returns the visible state of the neighbour at the given port
 // (read-only).
 func (v *View) Neighbour(port int) State {
-	return v.snap[v.engine.g.Half(v.node, port).Peer]
+	a := v.engine.adj
+	return v.snap[a.Peer[int(a.Off[v.node])+port]]
+}
+
+// MarkChanged records that the state this step is writing differs from the
+// node's current state in a way downstream memoization cares about (the
+// machine chooses what "tracked state" means — the verifier tracks its label
+// layers). The mark becomes visible through NeighbourhoodChangedSince only
+// when the written state itself becomes visible: at the next round under the
+// synchronous daemon (marks made during a round are buffered and committed
+// at the round boundary, so parallel and serial stepping observe identical
+// dirty epochs), immediately under the asynchronous daemon (which reads
+// current states). SetState and Corrupt mark the node implicitly.
+func (v *View) MarkChanged() {
+	e := v.engine
+	if e.inSyncStep {
+		v.pending = append(v.pending, int32(v.node))
+		return
+	}
+	e.bumpDirty(v.node, int64(e.round)+1)
+}
+
+// NeighbourhoodChangedSince reports whether the tracked state of this node
+// or of any of its neighbours changed after the given epoch — where an
+// epoch is a View.Round value, and "changed at epoch r" means the states
+// visible at round r differ from those visible at r−1. A machine that
+// memoizes a verdict computed at epoch r0 = Round() may keep it as long as
+// this reports false for r0.
+//
+// The scan is O(degree) over the flat dirty-epoch array, with an O(1)
+// global high-water fast path that short-circuits the common all-quiet
+// case.
+func (v *View) NeighbourhoodChangedSince(epoch int64) bool {
+	e := v.engine
+	if e.maxDirty <= epoch {
+		return false
+	}
+	if e.dirty[v.node] > epoch {
+		return true
+	}
+	a := e.adj
+	lo, hi := a.Off[v.node], a.Off[v.node+1]
+	for _, p := range a.Peer[lo:hi] {
+		if e.dirty[p] > epoch {
+			return true
+		}
+	}
+	return false
 }
 
 // Round returns the global round/time-unit counter. Synchronous algorithms
@@ -219,6 +286,7 @@ const stepChunk = 128
 // Engine executes a Machine over a graph under one of the two daemons.
 type Engine struct {
 	g       *graph.Graph
+	adj     *graph.Adj // frozen CSR adjacency; all View topology reads
 	machine Machine
 	inplace InPlaceStepper // non-nil iff machine implements the fast path
 	states  []State
@@ -254,6 +322,17 @@ type Engine struct {
 	alarmCount int
 	doneCount  int
 
+	// Change tracking: dirty[i] is the last epoch at which node i's tracked
+	// state changed (View.MarkChanged, SetState, Corrupt); maxDirty is the
+	// global high-water mark. The array is frozen while a synchronous round
+	// is in flight — in-round marks buffer in per-View pending lists, merge
+	// into pendingDirty, and commit at the round boundary — so concurrent
+	// workers read deterministic epochs without atomics.
+	dirty        []int64
+	maxDirty     int64
+	pendingDirty []int32
+	inSyncStep   bool
+
 	view  View  // reusable View for serial stepping, Init, and async
 	order []int // reusable activation-order buffer for StepAsync
 
@@ -269,6 +348,7 @@ type Engine struct {
 func New(g *graph.Graph, machine Machine, seed int64) *Engine {
 	e := &Engine{
 		g:       g,
+		adj:     g.Adjacency(),
 		machine: machine,
 		states:  make([]State, g.N()),
 		prev:    make([]State, g.N()),
@@ -276,6 +356,7 @@ func New(g *graph.Graph, machine Machine, seed int64) *Engine {
 		rng:     rand.New(rand.NewSource(seed)),
 		alarmed: make([]bool, g.N()),
 		done:    make([]bool, g.N()),
+		dirty:   make([]int64, g.N()),
 	}
 	e.inplace, _ = machine.(InPlaceStepper)
 	e.view.engine = e
@@ -316,10 +397,50 @@ func (e *Engine) MaxStateBits() int { return e.maxBits }
 func (e *Engine) State(v int) State { return e.states[v] }
 
 // SetState overwrites node v's state; used for adversarial initialization
-// and fault injection.
+// and fault injection. The node is marked dirty one epoch past the current
+// round — not at it — so that memoizing machines unconditionally re-check
+// it and its neighbourhood on their next step, even if the installed state
+// carries a memo stamped at this very epoch by a foreign run (the mark must
+// compare strictly greater than any stamp the state could legally hold).
 func (e *Engine) SetState(v int, s State) {
 	e.states[v] = s
 	e.noteState(v)
+	e.bumpDirty(v, int64(e.round)+1)
+}
+
+// bumpDirty raises node v's dirty epoch (monotone max).
+func (e *Engine) bumpDirty(v int, epoch int64) {
+	if epoch > e.dirty[v] {
+		e.dirty[v] = epoch
+	}
+	if epoch > e.maxDirty {
+		e.maxDirty = epoch
+	}
+}
+
+// flushMarks drains a View's in-round dirty marks into the engine's commit
+// list. Parallel rounds call it under the reduction mutex; the serial round
+// calls it directly.
+func (e *Engine) flushMarks(v *View) {
+	if len(v.pending) == 0 {
+		return
+	}
+	e.pendingDirty = append(e.pendingDirty, v.pending...)
+	v.pending = v.pending[:0]
+}
+
+// commitMarks publishes the round's buffered dirty marks; called after the
+// round counter has advanced, so the marks carry the epoch at which the
+// newly written states became visible.
+func (e *Engine) commitMarks() {
+	if len(e.pendingDirty) == 0 {
+		return
+	}
+	epoch := int64(e.round)
+	for _, i := range e.pendingDirty {
+		e.bumpDirty(int(i), epoch)
+	}
+	e.pendingDirty = e.pendingDirty[:0]
 }
 
 // Corrupt applies an adversarial mutation to node v's state.
@@ -406,6 +527,7 @@ func (e *Engine) StepSync() {
 	n := e.g.N()
 	e.stepSnap, e.stepNext = e.states, e.prev
 	e.alarmCount, e.doneCount = 0, 0
+	e.inSyncStep = true
 	parallel := false
 	if e.Parallel {
 		thr := e.ParallelThreshold
@@ -447,11 +569,14 @@ func (e *Engine) StepSync() {
 			e.maxBits = localMax
 		}
 		e.alarmCount, e.doneCount = alarms, done
+		e.flushMarks(v)
 	}
+	e.inSyncStep = false
 	e.states, e.prev = e.stepNext, e.stepSnap
 	e.stepSnap, e.stepNext = nil, nil
 	e.round++
 	e.activations += int64(n)
+	e.commitMarks()
 }
 
 // runChunks is the body a pool worker executes for one engine round: claim
@@ -497,6 +622,7 @@ func (e *Engine) runChunks(v *View) {
 	}
 	e.alarmCount += alarms
 	e.doneCount += done
+	e.flushMarks(v)
 	e.mu.Unlock()
 }
 

@@ -1,0 +1,92 @@
+package selfstab
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/verify"
+)
+
+// TestIncrementalCheckPhaseDetection: inside the transformer, the check
+// phase rides the verifier's memoized static verdict; a label fault injected
+// through InjectCheckFault (an engine-level SetState, which marks the node
+// dirty) must be detected — the node leaving the check phase — at exactly
+// the same round as under the full-recheck reference, for every trial.
+func TestIncrementalCheckPhaseDetection(t *testing.T) {
+	g := graph.RandomConnected(64, 160, 13)
+	l, err := verify.Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := 120
+	for trial := 0; trial < 4; trial++ {
+		inc := NewRunner(g, g.N(), verify.Sync, int64(trial))
+		full := NewFullRecheckRunner(g, g.N(), verify.Sync, int64(trial))
+		for _, r := range []*Runner{inc, full} {
+			r.SeedStable(l)
+			r.Eng.RunSyncRounds(warm)
+			if !r.Eng.AllDone() {
+				t.Fatalf("trial %d: seeded configuration did not hold", trial)
+			}
+		}
+		victim := 3 + 7*trial
+		inject := func(r *Runner) bool {
+			rng := rand.New(rand.NewSource(int64(50 + trial)))
+			return r.InjectCheckFault(victim, func(c *verify.VState) bool {
+				return verify.ApplyFault(c, verify.FaultStoredPieceW, rng, g.Degree(victim))
+			})
+		}
+		okI, okF := inject(inc), inject(full)
+		if okI != okF {
+			t.Fatalf("trial %d: injection applied on one path only", trial)
+		}
+		if !okI {
+			continue
+		}
+		detect := func(r *Runner) int {
+			budget := 2 * verify.DetectionBudget(g.N())
+			for i := 0; i < budget; i++ {
+				r.Step()
+				if !r.Eng.AllDone() {
+					return i + 1
+				}
+			}
+			return -1
+		}
+		dI, dF := detect(inc), detect(full)
+		if dI != dF {
+			t.Fatalf("trial %d: detection rounds diverged: incremental %d vs full re-check %d",
+				trial, dI, dF)
+		}
+		if dI < 0 {
+			t.Fatalf("trial %d: fault never detected", trial)
+		}
+	}
+}
+
+// TestIncrementalSurvivesEpochChurn: a full stabilization run from
+// arbitrary states — epochs flooding, phases cycling, labels installed and
+// withdrawn — converges identically with and without memoization. This
+// exercises every transformer-side MarkChanged site (epoch adoption, phase
+// transitions, the alarm reset).
+func TestIncrementalSurvivesEpochChurn(t *testing.T) {
+	g := graph.RandomConnected(20, 48, 17)
+	inc := NewRunner(g, g.N(), verify.Sync, 5)
+	full := NewFullRecheckRunner(g, g.N(), verify.Sync, 5)
+	inc.Scramble(rand.New(rand.NewSource(77)))
+	full.Scramble(rand.New(rand.NewSource(77)))
+	budget := 2 * inc.StabilizationBudget()
+	rI, okI := inc.RunUntilStable(budget)
+	rF, okF := full.RunUntilStable(budget)
+	if okI != okF || rI != rF {
+		t.Fatalf("stabilization diverged: incremental (%d, %v) vs full re-check (%d, %v)",
+			rI, okI, rF, okF)
+	}
+	if !okI {
+		t.Fatal("did not stabilize within budget")
+	}
+	if !inc.OutputIsMST() || !full.OutputIsMST() {
+		t.Fatal("stabilized output is not the MST")
+	}
+}

@@ -24,10 +24,24 @@ func NewRunner(g *graph.Graph, bound int, mode verify.Mode, seed int64) *Runner 
 }
 
 // NewClonePathRunner is NewRunner with the InPlaceStepper fast path
-// disabled (runtime.WithoutInPlace): the clone-per-step reference
-// configuration for measuring — and cross-checking — the in-place engine.
+// disabled (runtime.WithoutInPlace) and the embedded verifier's
+// memoization off: the clone-per-step, check-everything reference
+// configuration for measuring — and cross-checking — the in-place
+// incremental engine.
 func NewClonePathRunner(g *graph.Graph, bound int, mode verify.Mode, seed int64) *Runner {
-	return newRunner(g, bound, mode, seed, true)
+	r := newRunner(g, bound, mode, seed, true)
+	r.M.verifier.FullRecheck = true
+	return r
+}
+
+// NewFullRecheckRunner is NewRunner with the embedded verifier's static-
+// verdict memoization disabled: the check phase re-checks every label layer
+// every round. The reference configuration incremental transformer runs are
+// compared against (detection rounds are bit-identical).
+func NewFullRecheckRunner(g *graph.Graph, bound int, mode verify.Mode, seed int64) *Runner {
+	r := newRunner(g, bound, mode, seed, false)
+	r.M.verifier.FullRecheck = true
+	return r
 }
 
 func newRunner(g *graph.Graph, bound int, mode verify.Mode, seed int64, clonePath bool) *Runner {

@@ -23,7 +23,12 @@
 //	          substitution 3.
 //	Check   — the verifier runs forever (it is itself self-stabilizing and
 //	          asynchrony-tolerant, so it needs no synchronizer); any alarm
-//	          starts a new epoch.
+//	          starts a new epoch. The embedded verifier is incremental: its
+//	          static label verdict is memoized per node, and the transformer
+//	          marks every check-relevant composite change (epoch adoption,
+//	          phase transitions, the alarm reset) through the engine's
+//	          dirty-epoch tracking so the memo invalidates exactly when a
+//	          standalone verifier's would.
 //
 // Per the paper's model discussion, the substrate assumes a polynomial
 // upper bound N on n (the assumption the paper removes by plugging in
@@ -270,6 +275,7 @@ func (m *Machine) stepInto(v *runtime.View, dst *SState, sc *machScratch) runtim
 			s.Phase = PhaseResync
 			s.Pulse = 0
 			s.Build, s.BuildPrev, s.Check = nil, nil, nil
+			v.MarkChanged() // neighbours' memoized check verdicts must re-probe
 		}
 	}
 	if s.Pulse < 0 || s.Pulse > m.phaseDur(s.Phase)+1 {
@@ -293,6 +299,7 @@ func (m *Machine) stepInto(v *runtime.View, dst *SState, sc *machScratch) runtim
 				s.Check = m.installLabels(v.Node(), s)
 				s.Build, s.BuildPrev = nil, nil
 			}
+			v.MarkChanged() // phase transitions change what neighbours' checks see
 		}
 
 	case PhaseBuild:
@@ -320,6 +327,7 @@ func (m *Machine) stepInto(v *runtime.View, dst *SState, sc *machScratch) runtim
 			s.Phase = PhaseLabel
 			s.Pulse = 0
 			// Build states are kept: the label oracle reads them.
+			v.MarkChanged()
 		}
 
 	case PhaseCheck:
@@ -356,6 +364,7 @@ func (m *Machine) stepInto(v *runtime.View, dst *SState, sc *machScratch) runtim
 			s.Phase = PhaseResync
 			s.Pulse = 0
 			s.Build, s.BuildPrev, s.Check = nil, nil, nil
+			v.MarkChanged()
 		}
 
 	default:
@@ -489,6 +498,13 @@ func (b *buildView) Neighbour(port int) *syncmst.State {
 // checkView adapts the transformer state to verify.NodeView. self is the
 // pre-step verifier state (the read-buffer copy, so the in-place path can
 // use the node's own composite state as the write destination).
+//
+// It also implements verify.Tracker by forwarding to the engine's
+// dirty-epoch tracking: the transformer marks every check-relevant
+// composite change (epoch adoption, phase transitions, label installation,
+// the alarm reset — see stepInto), and fault injection marks through
+// SetState, so the embedded verifier's memoized static verdict stays exactly
+// as fresh as in a standalone run.
 type checkView struct {
 	v    *runtime.View
 	s    *SState
@@ -506,3 +522,8 @@ func (c *checkView) Neighbour(port int) *verify.VState {
 	}
 	return nb.Check
 }
+func (c *checkView) StepEpoch() int64 { return int64(c.v.Round()) }
+func (c *checkView) LabelsChangedSince(epoch int64) bool {
+	return c.v.NeighbourhoodChangedSince(epoch)
+}
+func (c *checkView) MarkLabelsChanged() { c.v.MarkChanged() }

@@ -32,6 +32,7 @@ package train
 
 import (
 	"fmt"
+	mbits "math/bits"
 
 	"ssmst/internal/bits"
 	"ssmst/internal/graph"
@@ -227,13 +228,10 @@ func CheckLabels(own *NodeLabels, ownID graph.NodeID, isTreeRoot bool, n int, nb
 // LevelSplit(n) are top, lower levels bottom; this is the delimiter of §8.
 func LambdaThreshold(n int) int { return partition.LambdaFor(n) }
 
-// LevelSplit returns log2 λ(n): the first top level.
+// LevelSplit returns log2 λ(n): the first top level. O(1), like
+// LambdaThreshold — both sit on the verifier's per-neighbour hot path.
 func LevelSplit(n int) int {
-	l := 0
-	for 1<<uint(l) < LambdaThreshold(n) {
-		l++
-	}
-	return l
+	return mbits.TrailingZeros(uint(LambdaThreshold(n)))
 }
 
 func checkOne(l *Labels, ownID graph.NodeID, isTreeRoot bool, n int, nbs []NeighbourLabels, top bool) error {

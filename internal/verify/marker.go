@@ -15,6 +15,24 @@
 // 1-proof checks of all layers, the two trains, and the Ask/Show sampling
 // protocol with the minimality checks C1/C2 and the tree-edge piece
 // equality check (§8).
+//
+// # Incremental verification
+//
+// The paper's verification is local and repeatable: each round's verdict is
+// a deterministic function of the neighbourhood's registers, so re-running
+// a check on unchanged inputs cannot change its outcome. The implementation
+// exploits this by splitting the step into a static layer — the label
+// checks (SP/NumK, hierarchy strings, train position labels, neighbour
+// presence), whose inputs change only under faults and label installation —
+// and a dynamic layer (the trains and the Ask/Show sampler) that runs every
+// round. The static verdict is memoized per node in VState and invalidated
+// through the engine's dirty-epoch change tracking
+// (runtime.View.MarkChanged / NeighbourhoodChangedSince): fault injection,
+// SetState and the transformer's phase transitions all mark the node, so
+// the memo is semantically transparent — Machine.FullRecheck disables it
+// and the two configurations are bit-identical in every protocol-visible
+// field. In a quiet network the verifier's round cost is proportional to
+// change, not to n × (label size).
 package verify
 
 import (

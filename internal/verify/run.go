@@ -21,21 +21,35 @@ type Runner struct {
 
 // NewRunner builds an engine with the marker's labels installed. Synchronous
 // rounds fan out over the shared worker pool at large n (bit-identical to
-// serial stepping; see the runtime package doc) and run on the in-place
-// zero-allocation fast path.
+// serial stepping; see the runtime package doc), run on the in-place
+// zero-allocation fast path, and re-check the static label layers only when
+// the engine's change tracking reports a neighbourhood label change
+// (incremental verification; bit-identical to NewFullRecheckRunner).
 func NewRunner(l *Labeled, mode Mode, seed int64) *Runner {
-	return newRunner(l, mode, seed, false)
+	return newRunner(l, mode, seed, false, false)
 }
 
 // NewClonePathRunner is NewRunner with the InPlaceStepper fast path
-// disabled (runtime.WithoutInPlace): the clone-per-step reference
-// configuration for measuring — and cross-checking — the in-place engine.
+// disabled (runtime.WithoutInPlace) and static-verdict memoization off:
+// the clone-per-step, check-everything reference configuration for
+// measuring — and cross-checking — the in-place incremental engine. Its
+// rows in BENCH_prN.json and the E14b table are measured in exactly this
+// configuration.
 func NewClonePathRunner(l *Labeled, mode Mode, seed int64) *Runner {
-	return newRunner(l, mode, seed, true)
+	return newRunner(l, mode, seed, true, true)
 }
 
-func newRunner(l *Labeled, mode Mode, seed int64, clonePath bool) *Runner {
-	m := &Machine{Mode: mode, Labeled: l}
+// NewFullRecheckRunner is NewRunner with static-verdict memoization
+// disabled (Machine.FullRecheck): every round re-checks all label layers
+// from scratch. The reference configuration the incremental verifier is
+// measured against; the two are bit-identical in every protocol-visible
+// field (TestIncrementalMatchesFullRecheck).
+func NewFullRecheckRunner(l *Labeled, mode Mode, seed int64) *Runner {
+	return newRunner(l, mode, seed, false, true)
+}
+
+func newRunner(l *Labeled, mode Mode, seed int64, clonePath, fullRecheck bool) *Runner {
+	m := &Machine{Mode: mode, Labeled: l, FullRecheck: fullRecheck}
 	var mm runtime.Machine = m
 	if clonePath {
 		mm = runtime.WithoutInPlace(m)

@@ -38,8 +38,10 @@ func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n i
 	}
 	// The dwell window covers two worst-case train cycles of this node and
 	// of every neighbour, computed from the verified position labels
-	// (corrupted labels are caught by the label checks regardless).
-	window := dwellWindow(s, nbs)
+	// (corrupted labels are caught by the label checks regardless). It is
+	// label-derived, so it is computed by the static layer and memoized in
+	// StaticWindow alongside the static verdict.
+	window := s.StaticWindow
 	j := levels[s.AskIdx]
 
 	if !s.AskValid {
@@ -72,10 +74,15 @@ func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n i
 		}
 	}
 
+	// The candidate port depends only on (labels, level), not on which
+	// neighbour is being compared: hoisted out of the loop, the comparison
+	// sweep is O(Δ) instead of O(Δ²).
+	cand := candidatePort(s, nbs, s.AskPiece.ID.Level)
+
 	if m.Mode == Sync {
 		for q := 0; q < v.Degree(); q++ {
 			if nbs[q].ok {
-				m.compare(v, s, nbs, q, alarm)
+				m.compare(v, s, nbs, q, cand, alarm)
 			}
 		}
 		s.AskTimer--
@@ -98,7 +105,7 @@ func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n i
 	q := s.ServerCur
 	served := true
 	if nbs[q].ok {
-		served = m.compare(v, s, nbs, q, alarm)
+		served = m.compare(v, s, nbs, q, cand, alarm)
 	}
 	if served {
 		s.ServerCur++
@@ -133,15 +140,16 @@ func (s *VState) advanceLevel(numLevels int) {
 	s.Want = train.Want{}
 }
 
-// compare runs the level-j checks against the neighbour at port q. It
+// compare runs the level-j checks against the neighbour at port q; cand is
+// the candidate port of Fj(v) (candidatePort, hoisted by the caller). It
 // returns true when the comparison is complete (the event E(v,u,j) of §7.2
 // occurred or needs no piece), false when v must keep waiting for u's train.
-func (m *Machine) compare(v NodeView, s *VState, nbs []nbList, q int, alarm *bool) bool {
+func (m *Machine) compare(v NodeView, s *VState, nbs []nbList, q, cand int, alarm *bool) bool {
 	u := nbs[q].st
 	j := s.AskPiece.ID.Level
 	n := s.L.Size.N
 	w := v.Weight(q)
-	isCand := candidatePort(s, nbs, j) == q
+	isCand := cand == q
 
 	uClaims := j >= 0 && j < u.L.HS.Levels() && u.L.HS.Roots[j] != hierarchy.RootsNone
 	if !uClaims {

@@ -86,7 +86,11 @@ func MarkTree(g *Graph, treeEdges []int) (*Labeled, error) {
 }
 
 // NewVerifier builds a verification run over the labeled instance. Rounds
-// run on the engine's zero-allocation in-place fast path.
+// run on the engine's zero-allocation in-place fast path and re-check the
+// static label layers incrementally: their memoized per-node verdict is
+// replayed until the engine's change tracking reports a neighbourhood label
+// change, so a quiet round costs the dynamic train/sampler work plus one
+// O(Δ) change probe rather than the full label check.
 func NewVerifier(l *Labeled, mode Mode, seed int64) *Verifier {
 	return verify.NewRunner(l, mode, seed)
 }
@@ -95,6 +99,14 @@ func NewVerifier(l *Labeled, mode Mode, seed int64) *Verifier {
 // (the fast path disabled) — for perf comparisons and cross-checks.
 func NewVerifierClonePath(l *Labeled, mode Mode, seed int64) *Verifier {
 	return verify.NewClonePathRunner(l, mode, seed)
+}
+
+// NewVerifierFullRecheck is NewVerifier with incremental verification
+// disabled: every round re-checks all label layers from scratch. The
+// reference configuration incremental runs are measured against; the two
+// are bit-identical in every protocol-visible field.
+func NewVerifierFullRecheck(l *Labeled, mode Mode, seed int64) *Verifier {
+	return verify.NewFullRecheckRunner(l, mode, seed)
 }
 
 // NewSelfStabilizing builds a self-stabilizing MST run; bound is the
@@ -108,6 +120,14 @@ func NewSelfStabilizing(g *Graph, bound int, mode Mode, seed int64) *SelfStabili
 // reference path — for perf comparisons and cross-checks.
 func NewSelfStabilizingClonePath(g *Graph, bound int, mode Mode, seed int64) *SelfStabilizing {
 	return selfstab.NewClonePathRunner(g, bound, mode, seed)
+}
+
+// NewSelfStabilizingFullRecheck is NewSelfStabilizing with the embedded
+// verifier's incremental memoization disabled (the check phase re-checks
+// every label layer every round) — the reference configuration for
+// cross-checking the incremental transformer.
+func NewSelfStabilizingFullRecheck(g *Graph, bound int, mode Mode, seed int64) *SelfStabilizing {
+	return selfstab.NewFullRecheckRunner(g, bound, mode, seed)
 }
 
 // IsMST reports whether the edge set is the minimum spanning tree of g.
