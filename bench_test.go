@@ -85,7 +85,10 @@ func BenchmarkEngineScaling(b *testing.B) {
 				e.Parallel = bc.parallel
 				e.ParallelThreshold = 256
 				e.ForcePool = bc.parallel // measure the pool even on 1 core
-				e.RunSyncRounds(2)        // fill both buffers: steady state
+				// Fill both buffers and let the per-node memo caches settle
+				// (the claimed-level memo persists on the first recycled
+				// round), so 1x smoke runs measure the steady state.
+				e.RunSyncRounds(8)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

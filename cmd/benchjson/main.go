@@ -4,15 +4,24 @@
 // configurations — the clone reference path, the in-place fast path with
 // every label layer re-checked each round ("full-recheck", the PR2
 // configuration), and the in-place incremental verifier ("incremental",
-// static label verdicts memoized and re-checked only on neighbourhood
-// change). CI's bench-smoke job runs it and uploads the file as an
-// artifact, so successive PRs accumulate comparable numbers instead of
-// prose claims. The measurement itself is core.MeasureVerifierRound — the
-// same code that produces the E14b table.
+// static label verdicts memoized, label copies elided and the sampler sweep
+// batched — re-checked only on neighbourhood change). CI's bench-smoke job
+// runs it and uploads the file as an artifact under a per-PR name, so
+// successive PRs accumulate comparable numbers instead of silently
+// overwriting the previous trajectory point. The measurement itself is
+// core.MeasureVerifierRound — the same code that produces the E14b table.
+//
+// -out has no default: every caller (CI included) names its own snapshot
+// explicitly. With -baseline the command additionally guards against
+// perf regressions: it compares the freshly measured incremental quiet
+// round at n=4096 against the committed baseline file and exits non-zero
+// when it is more than -maxregress slower. Noisy or slow runners can skip
+// the guard (never the measurement) by setting SSMST_BENCH_SKIP_GUARD=1.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -out BENCH_pr3.json -rounds 30
+//	go run ./cmd/benchjson -out BENCH_pr4.json -rounds 30
+//	go run ./cmd/benchjson -out BENCH_pr4.json -baseline BENCH_pr4.json
 package main
 
 import (
@@ -44,10 +53,36 @@ type Report struct {
 	Results  []Result `json:"results"`
 }
 
+// The guarded row: the incremental quiet round at this n is the quantity
+// every PR's headline perf claim is made on.
+const (
+	guardN    = 4096
+	guardPath = "incremental"
+)
+
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output file")
+	out := flag.String("out", "", "output file (required)")
 	rounds := flag.Int("rounds", 30, "measured rounds per configuration")
+	baseline := flag.String("baseline", "", "committed baseline report to guard against (optional)")
+	maxRegress := flag.Float64("maxregress", 0.25, "allowed fractional ns/round regression on the guarded row")
 	flag.Parse()
+	if *out == "" {
+		log.Fatal("benchjson: -out is required (e.g. -out BENCH_pr4.json); the trajectory file is named per PR, never defaulted")
+	}
+
+	// Read the baseline before measuring (and before writing: -out and
+	// -baseline may name the same committed file).
+	var base *Report
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatalf("benchjson: read baseline: %v", err)
+		}
+		base = new(Report)
+		if err := json.Unmarshal(data, base); err != nil {
+			log.Fatalf("benchjson: parse baseline %s: %v", *baseline, err)
+		}
+	}
 
 	rep := Report{
 		Bench:    "verifier-round",
@@ -85,4 +120,44 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
+
+	if base != nil {
+		if os.Getenv("SSMST_BENCH_SKIP_GUARD") != "" {
+			fmt.Println("bench guard: skipped (SSMST_BENCH_SKIP_GUARD set)")
+			return
+		}
+		want, got := findGuardRow(base), findGuardRow(&rep)
+		if want == nil {
+			log.Fatalf("bench guard: baseline %s has no (n=%d, %s) row", *baseline, guardN, guardPath)
+		}
+		if got == nil {
+			log.Fatalf("bench guard: measurement produced no (n=%d, %s) row", guardN, guardPath)
+		}
+		// The committed baseline is a min over repeated runs; judging it
+		// against a single fresh sample would bias the guard toward false
+		// failures on a noisy runner. Re-measure the guarded row once more
+		// and keep the better sample before comparing.
+		g := graph.RandomConnected(guardN, 3*guardN, 1)
+		if l, err := verify.Mark(g); err == nil {
+			if c := core.MeasureVerifierRound(g, l, true, false, *rounds, 1); c.NsPerRound < got.NsPerRound {
+				got.NsPerRound = c.NsPerRound
+			}
+		}
+		limit := float64(want.NsPerRound) * (1 + *maxRegress)
+		fmt.Printf("bench guard: quiet round n=%d %s: %d ns/round vs baseline %d (limit %.0f)\n",
+			guardN, guardPath, got.NsPerRound, want.NsPerRound, limit)
+		if float64(got.NsPerRound) > limit {
+			log.Fatalf("bench guard: regression: %d ns/round exceeds baseline %d by more than %.0f%% (set SSMST_BENCH_SKIP_GUARD=1 on noisy runners)",
+				got.NsPerRound, want.NsPerRound, 100**maxRegress)
+		}
+	}
+}
+
+func findGuardRow(r *Report) *Result {
+	for i := range r.Results {
+		if r.Results[i].N == guardN && r.Results[i].Path == guardPath {
+			return &r.Results[i]
+		}
+	}
+	return nil
 }

@@ -25,8 +25,10 @@ func TestDetectionPipelineAllocFree(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	verifier := runtime.New(g, &verify.Machine{Mode: verify.Sync, Labeled: l}, 1)
-	transformer := runtime.New(g, selfstab.NewMachine(g, g.N(), verify.Sync), 1)
+	vm := &verify.Machine{Mode: verify.Sync, Labeled: l}
+	sm := selfstab.NewMachine(g, g.N(), verify.Sync)
+	verifier := runtime.New(g, vm, 1)
+	transformer := runtime.New(g, sm, 1)
 	selfstab.SeedChecked(transformer, l)
 	syncmstEng := runtime.New(g, syncmst.Machine{}, 1)
 
@@ -39,6 +41,28 @@ func TestDetectionPipelineAllocFree(t *testing.T) {
 		e.RunSyncRounds(8)
 		if avg := testing.AllocsPerRun(16, e.StepSync); avg != 0 {
 			t.Errorf("%s: %.1f allocs per steady-state round, want 0", name, avg)
+		}
+	}
+
+	// The quiet steady state must also be on the PR 4 dynamic-layer fast
+	// paths: no static recomputes (PR 3's memo) and no deep label copies
+	// (the memo-hit CopyFrom elision) per round — standalone and inside the
+	// transformer's check phase.
+	for name, m := range map[string]*verify.Machine{
+		"verifier":    vm,
+		"transformer": sm.Verifier(),
+	} {
+		e := verifier
+		if name == "transformer" {
+			e = transformer
+		}
+		copies, recomputes := m.LabelCopies(), m.StaticRecomputes()
+		e.RunSyncRounds(4)
+		if got := m.LabelCopies() - copies; got != 0 {
+			t.Errorf("%s: %d label copies over 4 quiet rounds, want 0 (memo-hit elision)", name, got)
+		}
+		if got := m.StaticRecomputes() - recomputes; got != 0 {
+			t.Errorf("%s: %d static recomputes over 4 quiet rounds, want 0", name, got)
 		}
 	}
 

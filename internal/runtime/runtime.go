@@ -96,6 +96,17 @@ type Terminator interface {
 	Done() bool
 }
 
+// MemoInvalidator is implemented by states that carry simulator-side memo
+// caches of derived measurements (the verifier memoizes the label portion of
+// its BitSize, its claimed-level list, and its static verdict). The engine
+// calls InvalidateMemo on every state installed through SetState or Corrupt
+// — the injection paths mutate state behind the step function, so any memo
+// the state carries may describe content that no longer exists. Steps never
+// need it: in-step mutations maintain their own caches.
+type MemoInvalidator interface {
+	InvalidateMemo()
+}
+
 // View is a stepping node's window onto the network: its own identity,
 // degree, incident edge weights, and the states of its neighbours. Neighbour
 // states are read-only; Step implementations must not mutate them. Views are
@@ -402,7 +413,13 @@ func (e *Engine) State(v int) State { return e.states[v] }
 // it and its neighbourhood on their next step, even if the installed state
 // carries a memo stamped at this very epoch by a foreign run (the mark must
 // compare strictly greater than any stamp the state could legally hold).
+// States carrying simulator-side memo caches (MemoInvalidator) are
+// invalidated before the instrumentation re-measures them, so e.g. a
+// BitSize memoized over content the injection just rewrote is never read.
 func (e *Engine) SetState(v int, s State) {
+	if mi, ok := s.(MemoInvalidator); ok {
+		mi.InvalidateMemo()
+	}
 	e.states[v] = s
 	e.noteState(v)
 	e.bumpDirty(v, int64(e.round)+1)

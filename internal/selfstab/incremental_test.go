@@ -62,6 +62,44 @@ func TestIncrementalCheckPhaseDetection(t *testing.T) {
 		if dI < 0 {
 			t.Fatalf("trial %d: fault never detected", trial)
 		}
+		// Inside the transformer, too, the memoized label BitSize must keep
+		// the compactness measurement bit-identical to a full re-measure.
+		if bI, bF := inc.Eng.MaxStateBits(), full.Eng.MaxStateBits(); bI != bF {
+			t.Fatalf("trial %d: MaxStateBits diverged: incremental %d vs full re-check %d",
+				trial, bI, bF)
+		}
+	}
+}
+
+// TestTransformerQuietCheckPhaseFastPaths: once the transformer's check
+// phase is warm and quiet, its embedded verifier must ride both PR 4 fast
+// paths — no static recomputes and no deep label copies per round — on the
+// serial and the parallel-forced engine alike.
+func TestTransformerQuietCheckPhaseFastPaths(t *testing.T) {
+	g := graph.RandomConnected(96, 240, 29)
+	l, err := verify.Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser := NewRunner(g, g.N(), verify.Sync, 2)
+	ser.Eng.Parallel = false
+	par := NewRunner(g, g.N(), verify.Sync, 2)
+	par.Eng.ParallelThreshold = 1
+	par.Eng.ForcePool = true
+	for name, r := range map[string]*Runner{"serial": ser, "parallel": par} {
+		r.SeedStable(l)
+		r.Eng.RunSyncRounds(40)
+		if !r.Eng.AllDone() {
+			t.Fatalf("%s: seeded configuration did not hold", name)
+		}
+		copies, recomputes := r.M.Verifier().LabelCopies(), r.M.Verifier().StaticRecomputes()
+		r.Eng.RunSyncRounds(10)
+		if got := r.M.Verifier().LabelCopies() - copies; got != 0 {
+			t.Errorf("%s: %d label copies over 10 quiet check rounds, want 0", name, got)
+		}
+		if got := r.M.Verifier().StaticRecomputes() - recomputes; got != 0 {
+			t.Errorf("%s: %d static recomputes over 10 quiet check rounds, want 0", name, got)
+		}
 	}
 }
 

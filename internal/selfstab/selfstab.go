@@ -112,6 +112,17 @@ func (s *SState) BitSize() int {
 	)
 }
 
+// InvalidateMemo implements runtime.MemoInvalidator by forwarding to the
+// embedded verifier state: injection through SetState/Corrupt (including
+// Runner.InjectCheckFault) may rewrite the very labels the verifier's
+// simulator-side caches (static verdict, label BitSize, claimed-level list)
+// were computed over. The transformer bookkeeping itself carries no memo.
+func (s *SState) InvalidateMemo() {
+	if s.Check != nil {
+		s.Check.InvalidateMemo()
+	}
+}
+
 // Alarm reports the verifier's output during the check phase.
 func (s *SState) Alarm() bool {
 	return s.Phase == PhaseCheck && s.Check != nil && s.Check.AlarmFlag
@@ -121,9 +132,10 @@ func (s *SState) Alarm() bool {
 func (s *SState) Done() bool { return s.Phase == PhaseCheck && !s.Alarm() }
 
 var (
-	_ runtime.Machine        = (*Machine)(nil)
-	_ runtime.InPlaceStepper = (*Machine)(nil)
-	_ runtime.Alarmer        = (*SState)(nil)
+	_ runtime.Machine         = (*Machine)(nil)
+	_ runtime.InPlaceStepper  = (*Machine)(nil)
+	_ runtime.Alarmer         = (*SState)(nil)
+	_ runtime.MemoInvalidator = (*SState)(nil)
 )
 
 // Machine is the transformer register program.
@@ -140,6 +152,11 @@ type Machine struct {
 	// Runner after engine construction.
 	Snapshot func() []*SState
 }
+
+// Verifier exposes the embedded check-phase verifier machine — read-only
+// access to its incremental counters (StaticRecomputes, LabelCopies) for
+// tests and experiments that pin down the transformer's quiet-round cost.
+func (m *Machine) Verifier() *verify.Machine { return m.verifier }
 
 // NewMachine builds the transformer for a graph with bound N ≥ n.
 func NewMachine(g *graph.Graph, bound int, mode verify.Mode) *Machine {

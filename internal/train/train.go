@@ -50,17 +50,19 @@ type State struct {
 // BitSize measures the dynamic train state. Audited field-complete against
 // the struct (Up, UpNext, Down incl. Flag, Reset, ResetAck, Timer, and the
 // cycle-set check block) when the verifier's AlarmCode under-count was
-// fixed.
+// fixed. Written as a straight sum — the engine re-measures every node
+// every round, and the variadic bits.Sum form spilled its argument slice to
+// the stack on the hot path. The leading 7 counts the seven boolean flags
+// (Up.Valid, Down.Valid, Down.Flag, Reset, ResetAck, CovValid, Alarm).
 func (s *State) BitSize() int {
-	return bits.Sum(
-		1, bits.ForInt(int64(s.Up.Pos)), pieceBits(s.Up.P),
-		bits.ForInt(int64(s.UpNext)),
-		1, bits.ForInt(int64(s.Down.Pos)), pieceBits(s.Down.P), 1,
-		1, 1, bits.ForInt(int64(s.Timer)),
-		bits.ForInt(int64(s.LastPos)),
-		bits.ForInt(int64(s.SeenCnt)),
-		bits.ForUint(s.CovMask), 1, 1,
-	)
+	return 7 +
+		bits.ForInt(int64(s.Up.Pos)) + pieceBits(s.Up.P) +
+		bits.ForInt(int64(s.UpNext)) +
+		bits.ForInt(int64(s.Down.Pos)) + pieceBits(s.Down.P) +
+		bits.ForInt(int64(s.Timer)) +
+		bits.ForInt(int64(s.LastPos)) +
+		bits.ForInt(int64(s.SeenCnt)) +
+		bits.ForUint(s.CovMask)
 }
 
 // Clone returns a copy (State has no reference fields).
@@ -280,6 +282,15 @@ func (c *Ctx) flagFor(p hierarchy.Piece, parentFlag bool) bool {
 // Member reports whether the shown piece belongs to a fragment containing
 // this node, per the flag/delimiter rules.
 func Member(d Down, strings *hierarchy.Strings, top bool, n int) bool {
+	return MemberAt(&d, strings, top, LevelSplit(n))
+}
+
+// MemberAt is Member with the §8 delimiter LevelSplit(n) precomputed by the
+// caller and the buffer passed by pointer. The verifier's sampler calls the
+// membership test once per neighbour per round; hoisting the split and
+// skipping the buffer copy make the per-neighbour work a handful of loads
+// and comparisons. d is read-only.
+func MemberAt(d *Down, strings *hierarchy.Strings, top bool, split int) bool {
 	if !d.Valid || strings == nil {
 		return false
 	}
@@ -287,7 +298,6 @@ func Member(d Down, strings *hierarchy.Strings, top bool, n int) bool {
 	if j < 0 || j >= strings.Levels() {
 		return false
 	}
-	split := LevelSplit(n)
 	if top != (j >= split) {
 		return false
 	}

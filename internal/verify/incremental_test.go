@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -12,10 +13,12 @@ import (
 // stripEpoch returns a deep copy of a VState with the one memo field the
 // two configurations legitimately disagree on zeroed: FullRecheck restamps
 // StaticEpoch every round while the incremental path stamps it only on a
-// miss. Every other field — protocol state, alarm outputs, and the
-// memoized verdict itself (StaticValid/StaticAlarm/StaticCode/StaticWindow)
-// — must be bit-identical, which is exactly the property "the memoized
-// static verdict equals a from-scratch re-check, every round".
+// miss. Clone itself drops the simulator-side caches (label BitSize,
+// claimed-level list, StaticValid — see VState.InvalidateMemo), so what
+// remains compared is every protocol field, the alarm outputs, and the
+// memoized verdict content (StaticAlarm/StaticCode/StaticWindow) — exactly
+// the property "the memoized static verdict equals a from-scratch re-check,
+// every round".
 func stripEpoch(s runtime.State) *VState {
 	c := s.Clone().(*VState)
 	c.StaticEpoch = 0
@@ -51,6 +54,15 @@ func TestIncrementalMatchesFullRecheck(t *testing.T) {
 			if got := stripEpoch(par.Eng.State(v)); !reflect.DeepEqual(want, got) {
 				t.Fatalf("round %d node %d: parallel incremental state diverged from full re-check", r, v)
 			}
+			// The memoized label BitSize must read exactly what a cold
+			// re-measure reads: stripEpoch's Clone dropped the memo, so its
+			// BitSize recomputes the label term from scratch.
+			if got, fresh := inc.Eng.State(v).BitSize(), want.BitSize(); got != fresh {
+				t.Fatalf("round %d node %d: memoized BitSize %d, cold re-measure %d", r, v, got, fresh)
+			}
+		}
+		if ib, pb, fb := inc.Eng.MaxStateBits(), par.Eng.MaxStateBits(), full.Eng.MaxStateBits(); ib != fb || pb != fb {
+			t.Fatalf("round %d: MaxStateBits diverged: incremental %d parallel %d full %d", r, ib, pb, fb)
 		}
 	}
 
@@ -71,6 +83,20 @@ func TestIncrementalMatchesFullRecheck(t *testing.T) {
 	// once per node per round.
 	if got := inc.Machine.StaticRecomputes(); got != int64(g.N()) {
 		t.Fatalf("quiet run: %d static recomputes, want %d (one per node)", got, g.N())
+	}
+	// ... and, once warm, performs no further deep label copies: the
+	// memo-hit elision reuses the recycled state's label buffers. The
+	// full-recheck reference keeps copying once per node per round.
+	incCopies, parCopies, fullCopies := inc.Machine.LabelCopies(), par.Machine.LabelCopies(), full.Machine.LabelCopies()
+	step(5)
+	if got := inc.Machine.LabelCopies(); got != incCopies {
+		t.Fatalf("quiet rounds performed %d label copies on the incremental path, want 0", got-incCopies)
+	}
+	if got := par.Machine.LabelCopies(); got != parCopies {
+		t.Fatalf("quiet rounds performed %d label copies on the parallel path, want 0", got-parCopies)
+	}
+	if got, want := full.Machine.LabelCopies()-fullCopies, int64(5*g.N()); got != want {
+		t.Fatalf("full re-check performed %d label copies over 5 rounds, want %d", got, want)
 	}
 
 	// Inject every fault kind in sequence at fresh victims (identically on
@@ -140,6 +166,98 @@ func TestIncrementalDetectionRoundsMatch(t *testing.T) {
 		if !reflect.DeepEqual(alarmsI, alarmsF) {
 			t.Fatalf("trial %d: alarming nodes diverged: %v vs %v", trial, alarmsI, alarmsF)
 		}
+	}
+}
+
+// TestBitSizeMemoFaultParity is the regression lock for the memoized label
+// BitSize: a fault that shrinks a node's labels (fewer stored pieces, a
+// shorter string block) — or grows them — must never leave the incremental
+// engine reading a stale cached value. Every state-injection path funnels
+// through Engine.SetState/Corrupt (which invalidate via
+// runtime.MemoInvalidator) or verify.ApplyFault (which invalidates
+// directly); this test drives both label-shrinking and label-growing
+// mutations plus the whole fault menu, asserting per-node BitSize and
+// engine MaxStateBits parity against the full-recheck reference every
+// round.
+func TestBitSizeMemoFaultParity(t *testing.T) {
+	g := graph.RandomConnected(64, 160, 19)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewRunner(l, Sync, 7)
+	inc.Eng.Parallel = false
+	full := NewFullRecheckRunner(l, Sync, 7)
+	full.Eng.Parallel = false
+
+	check := func(stage string) {
+		t.Helper()
+		for v := 0; v < g.N(); v++ {
+			is, fs := inc.Eng.State(v).(*VState), full.Eng.State(v).(*VState)
+			cold := is.Clone().(*VState).BitSize() // Clone drops the memo: a from-scratch re-measure
+			if got := is.BitSize(); got != cold {
+				t.Fatalf("%s node %d: memoized BitSize %d, cold re-measure %d", stage, v, got, cold)
+			}
+			if is.BitSize() != fs.BitSize() {
+				t.Fatalf("%s node %d: BitSize diverged: incremental %d, full re-check %d",
+					stage, v, is.BitSize(), fs.BitSize())
+			}
+		}
+		if inc.Eng.MaxStateBits() != full.Eng.MaxStateBits() {
+			t.Fatalf("%s: MaxStateBits diverged: incremental %d, full re-check %d",
+				stage, inc.Eng.MaxStateBits(), full.Eng.MaxStateBits())
+		}
+	}
+
+	run := func(stage string, k int) {
+		for i := 0; i < k; i++ {
+			inc.Step()
+			full.Step()
+			check(stage)
+		}
+	}
+	run("quiet", 20) // memos settle
+
+	// Label-shrinking mutation: drop the stored pieces and truncate the
+	// string block at a victim — the label term of BitSize must fall on the
+	// very next read, not keep replaying the pre-fault measurement.
+	shrink := func(s *VState) {
+		// Cnt tracks Stored (the train steps off Cnt before indexing Stored,
+		// so the pair must stay consistent — the label checks object to the
+		// emptied window regardless).
+		s.L.Train.Top.Stored, s.L.Train.Top.Cnt = nil, 0
+		s.L.Train.Bottom.Stored, s.L.Train.Bottom.Cnt = nil, 0
+		if len(s.L.HS.Roots) > 2 {
+			s.L.HS.Roots = s.L.HS.Roots[:2]
+			s.L.HS.EndP = s.L.HS.EndP[:2]
+			s.L.HS.Parents = s.L.HS.Parents[:2]
+			s.L.HS.OrEndP = s.L.HS.OrEndP[:2]
+		}
+	}
+	inc.Inject(3, shrink)
+	full.Inject(3, shrink)
+	check("post-shrink")
+	run("shrink", 15)
+
+	// Label-growing mutation: a huge root identity widens the label fields.
+	grow := func(s *VState) {
+		s.L.SP.RootID += 1 << 40
+	}
+	inc.Inject(9, grow)
+	full.Inject(9, grow)
+	check("post-grow")
+	run("grow", 15)
+
+	// The whole fault menu, via ApplyFault (which must invalidate even when
+	// called on states outside an engine — here through Corrupt's clone).
+	rng := rand.New(rand.NewSource(5))
+	for kind := 0; kind < NumFaultKinds; kind++ {
+		victim := rng.Intn(g.N())
+		for _, r := range []*Runner{inc, full} {
+			kindRng := rand.New(rand.NewSource(int64(300*kind + victim)))
+			r.InjectKind(victim, FaultKind(kind), kindRng)
+		}
+		run(fmt.Sprintf("fault-kind-%d", kind), 10)
 	}
 }
 

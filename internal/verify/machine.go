@@ -42,6 +42,13 @@ type VState struct {
 	ServerCur int // asynchronous mode: round-robin server cursor
 	ServerTmr int
 	Want      train.Want
+	// CandPort is the port of the candidate edge of the fragment currently
+	// being asked about, captured together with AskPiece (-1 when v is not
+	// the candidate's inside endpoint). The candidate function is a pure
+	// function of (labels, level), so it is evaluated once per dwell window
+	// instead of once per round; like every sampler register it stabilizes
+	// within one Ask sweep after arbitrary corruption.
+	CandPort int
 
 	AlarmFlag bool // recomputed every round: the verifier's "no" output
 	// AlarmCode records which layer raised the current alarm (AlarmNone when
@@ -67,6 +74,23 @@ type VState struct {
 	StaticCode   AlarmCode
 	StaticWindow int
 	StaticEpoch  int64
+
+	// Simulator-side memo of label-derived measurements, maintained next to
+	// the static verdict (same lifetime: labels change only under faults and
+	// label installation). labelBits caches NodeLabels.BitSize — re-measured
+	// by the engine's instrumentation every round at every node, yet constant
+	// between label changes. samplerLevels caches J(v), the claimed-level
+	// list the sampler sweeps. Both are invalidated by every full label copy
+	// (CopyFrom), by Clone, and by InvalidateMemo (which the engine calls on
+	// SetState/Corrupt and ApplyFault calls on direct mutation); the memo-hit
+	// label-copy elision is the only path that carries them across rounds,
+	// and it runs exactly when the labels are provably unchanged. Like the
+	// Static block these fields are recomputable caches, not protocol
+	// memory, so BitSize excludes them.
+	labelBits     int
+	labelBitsOK   bool
+	samplerLevels []int
+	samplerMemoOK bool
 }
 
 // AlarmCode identifies the verifier layer that raised an alarm.
@@ -102,18 +126,40 @@ func (c AlarmCode) String() string {
 // Alarm implements runtime.Alarmer.
 func (s *VState) Alarm() bool { return s.AlarmFlag }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The sampler-levels memo is dropped rather than
+// deep-copied (it is a recomputable cache; sharing its backing array would
+// alias the clone to the original).
 func (s *VState) Clone() runtime.State {
 	c := *s
 	c.L = s.L.Clone()
+	c.InvalidateMemo()
 	return &c
 }
 
+// InvalidateMemo implements runtime.MemoInvalidator: it drops every
+// simulator-side memo the state carries — the static verdict, the cached
+// label BitSize, and the claimed-level list — so content installed or
+// mutated behind the step function is re-measured and re-checked from
+// scratch. Protocol-visible fields are untouched.
+func (s *VState) InvalidateMemo() {
+	s.StaticValid = false
+	s.labelBits = 0
+	s.labelBitsOK = false
+	s.samplerLevels = nil
+	s.samplerMemoOK = false
+}
+
 // CopyFrom makes s a deep copy of src, recycling s's label buffers — the
-// in-place counterpart of Clone. s must not alias src.
+// in-place counterpart of Clone. s must not alias src. The label-derived
+// memo travels differently per field: labelBits is copied with the struct
+// (the labels it measures are copied right below, so it stays consistent),
+// while the claimed-level list keeps s's own backing array and is marked
+// for rebuild (sharing src's array would alias two live states).
 func (s *VState) CopyFrom(src *VState) {
-	l := s.L
+	l, lv := s.L, s.samplerLevels
 	*s = *src
+	s.samplerLevels = lv[:0]
+	s.samplerMemoOK = false
 	switch {
 	case src.L == nil:
 		s.L = nil
@@ -125,28 +171,47 @@ func (s *VState) CopyFrom(src *VState) {
 	}
 }
 
+// copyFromKeepingLabels is CopyFrom minus the deep label copy: s keeps its
+// own label block and claimed-level memo untouched. Only the memo-hit
+// in-place step may use it, and only when the caller has proved (via the
+// static memo stamp and the engine's dirty-epoch tracking) that s's labels
+// are bit-identical to src's — see Machine.StepInto.
+func (s *VState) copyFromKeepingLabels(src *VState) {
+	l, lv, mok := s.L, s.samplerLevels, s.samplerMemoOK
+	*s = *src
+	s.L, s.samplerLevels, s.samplerMemoOK = l, lv, mok
+}
+
 // BitSize measures the node's full memory: labels, trains and sampler.
 // Every stored field is counted — including the alarm attribution code,
 // which lives in node memory like the flag it refines (omitting it would
-// under-report the paper's compactness measurement).
+// under-report the paper's compactness measurement). The label term is
+// memoized on the state: the engine re-measures every node every round,
+// but labels change only under faults and label installation, so the
+// O(log n) label walk is paid once per label change instead of once per
+// round (every mutation path resets the memo — see InvalidateMemo).
 func (s *VState) BitSize() int {
-	return bits.Sum(
-		bits.ForInt(int64(s.MyID)),
-		bits.ForInt(int64(s.ParentPort)),
-		s.L.BitSize(),
-		s.TopS.BitSize(),
-		s.BotS.BitSize(),
-		bits.ForInt(int64(s.AskIdx)),
-		1,
-		pieceSize(s.AskPiece),
-		bits.ForInt(int64(s.AskTimer)),
-		bits.ForInt(int64(s.CapTimer)),
-		bits.ForInt(int64(s.ServerCur)),
-		bits.ForInt(int64(s.ServerTmr)),
-		1, bits.ForInt(int64(s.Want.ServerID)), bits.ForInt(int64(s.Want.Level)),
-		1,                                // AlarmFlag
-		bits.ForEnum(int(numAlarmCodes)), // AlarmCode
-	)
+	if !s.labelBitsOK {
+		s.labelBits = s.L.BitSize()
+		s.labelBitsOK = true
+	}
+	// Straight sum, same reasoning as train.State.BitSize: this runs for
+	// every node every round. The leading 3 counts AskValid, Want.Valid and
+	// AlarmFlag; the AlarmCode enum width is added explicitly.
+	return 3 + bits.ForEnum(int(numAlarmCodes)) +
+		bits.ForInt(int64(s.MyID)) +
+		bits.ForInt(int64(s.ParentPort)) +
+		s.labelBits +
+		s.TopS.BitSize() +
+		s.BotS.BitSize() +
+		bits.ForInt(int64(s.AskIdx)) +
+		pieceSize(s.AskPiece) +
+		bits.ForInt(int64(s.AskTimer)) +
+		bits.ForInt(int64(s.CapTimer)) +
+		bits.ForInt(int64(s.ServerCur)) +
+		bits.ForInt(int64(s.ServerTmr)) +
+		bits.ForInt(int64(s.Want.ServerID)) + bits.ForInt(int64(s.Want.Level)) +
+		bits.ForInt(int64(s.CandPort))
 }
 
 func pieceSize(p hierarchy.Piece) int {
@@ -158,9 +223,10 @@ func pieceSize(p hierarchy.Piece) int {
 }
 
 var (
-	_ runtime.Machine        = (*Machine)(nil)
-	_ runtime.InPlaceStepper = (*Machine)(nil)
-	_ runtime.Alarmer        = (*VState)(nil)
+	_ runtime.Machine         = (*Machine)(nil)
+	_ runtime.InPlaceStepper  = (*Machine)(nil)
+	_ runtime.Alarmer         = (*VState)(nil)
+	_ runtime.MemoInvalidator = (*VState)(nil)
 )
 
 // NodeView is the window one verifier step needs; the self-stabilizing
@@ -205,12 +271,25 @@ type Machine struct {
 	// pin down ("a quiet network recomputes n times total, not n per
 	// round"). Atomic: parallel workers bump it only on the rare miss path.
 	staticRecomputes atomic.Int64
+
+	// labelCopies counts full deep label copies performed by StepInto — the
+	// observable behind the memo-hit copy elision ("a quiet network copies
+	// each node's labels a bounded number of times total, not once per node
+	// per round"). On the incremental path it grows only when the elision
+	// guard fails, so the atomic add stays off the quiet hot loop.
+	labelCopies atomic.Int64
 }
 
 // StaticRecomputes returns how many times any node recomputed the static
 // label layer from scratch (memo misses; every round counts once per node
 // under FullRecheck or trackerless views).
 func (m *Machine) StaticRecomputes() int64 { return m.staticRecomputes.Load() }
+
+// LabelCopies returns how many full deep label copies StepInto performed
+// across all nodes and rounds. Under FullRecheck (or trackerless views)
+// every step copies; the incremental in-place path elides the copy on
+// memo-hit steps, so a quiet network's count stays constant.
+func (m *Machine) LabelCopies() int64 { return m.labelCopies.Load() }
 
 // runtimeView adapts runtime.View to NodeView (and Tracker: the engine's
 // dirty-epoch tracking backs the change clock).
@@ -245,8 +324,10 @@ func (m *Machine) Init(v *runtime.View) runtime.State {
 }
 
 // Scratch holds the reusable per-worker temporaries of one verifier step:
-// neighbour lists, per-layer label views, the train contexts and the level
-// cursors. A Scratch may be reused across nodes and rounds — its contents
+// neighbour lists, per-layer label views and the train contexts (the
+// claimed-level list lives in VState's label memo instead: it is per-node,
+// label-derived data that survives across rounds on the elided fast path).
+// A Scratch may be reused across nodes and rounds — its contents
 // are rebuilt from the View every step and carry memory, never data — but
 // must not be shared concurrently; the engine's per-View machine-scratch
 // slot provides exactly that lifetime.
@@ -257,13 +338,16 @@ type Scratch struct {
 	childSize []*labeling.SizeLabel
 	lv        hierarchy.LocalView
 	tnbs      []train.NeighbourLabels
-	ctx       train.Ctx
-	levels    []int
+	ctx       train.Ctx // top-train context
+	ctxB      train.Ctx // bottom-train context (built in the same pass)
+	levels    []int     // claimed-level build buffer for fresh-state steps
 	needTop   []int
 	needBot   []int
 
-	// parentPeer backs ctx.Parent so building a context allocates nothing.
-	parentPeer train.PeerTrain
+	// parentPeer/parentPeerB back the contexts' Parent slots so building a
+	// context allocates nothing.
+	parentPeer  train.PeerTrain
+	parentPeerB train.PeerTrain
 
 	// wanted is the Async-mode Want predicate. It is allocated once per
 	// Scratch and re-aimed each step through self — closing over the
@@ -336,7 +420,37 @@ func (m *Machine) StepCore(v NodeView) *VState {
 // dynamic layer plus one O(degree) change probe, not the full label check.
 func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	old := v.Self()
-	dst.CopyFrom(old)
+	tr, tracked := v.(Tracker)
+	epoch := int64(0)
+	if tracked {
+		epoch = tr.StepEpoch()
+	}
+	// Memo-hit label-copy elision. dst is the recycled two-rounds-old state
+	// of this same node; its label block is bit-identical to old's exactly
+	// when no tracked (label) change touched the neighbourhood since dst's
+	// static verdict was stamped — labels only move by being copied forward,
+	// and every mutation path (faults via SetState/Corrupt, the in-step
+	// ParentPort repair, the transformer's phase transitions) marks the node
+	// dirty past any legal stamp. The stamp must come from this engine's own
+	// history (StaticEpoch ≤ epoch; a transplanted state may carry any
+	// value) and dst must be this node's own lineage (MyID check — direct
+	// StepInto callers may pass arbitrary scratch). FullRecheck copies
+	// unconditionally: it is the check-everything, copy-everything
+	// reference the elided path is cross-checked against.
+	persistMemo := true
+	if tracked && !m.FullRecheck && dst.StaticValid &&
+		dst.L != nil && old.L != nil && dst.MyID == old.MyID &&
+		dst.StaticEpoch <= epoch && !tr.LabelsChangedSince(dst.StaticEpoch) {
+		dst.copyFromKeepingLabels(old)
+	} else {
+		// A fresh dst (the clone path, or a cold scratch slot) is discarded
+		// after one round: persisting the claimed-level memo on it would
+		// allocate a per-step slice for nothing, so such steps build J(v)
+		// into the per-worker scratch instead (see the sampler layer).
+		persistMemo = dst.L != nil
+		m.labelCopies.Add(1)
+		dst.CopyFrom(old)
+	}
 	s := dst
 	alarm := false
 	code := AlarmNone
@@ -372,11 +486,6 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	var isRoot bool
 	var parent *VState
 
-	tr, tracked := v.(Tracker)
-	epoch := int64(0)
-	if tracked {
-		epoch = tr.StepEpoch()
-	}
 	// The memo is trusted only when it was stamped by this engine's own
 	// history (StaticEpoch ≤ epoch — a state transplanted from a foreign
 	// run via SetState may carry any stamp) and nothing in the closed
@@ -496,16 +605,37 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 			setAlarm(AlarmCoverageStatic)
 		}
 	}
-	train.StepInto(&s.TopS, &old.TopS, m.trainCtx(sc, s, nbs, parent, true))
-	train.StepInto(&s.BotS, &old.BotS, m.trainCtx(sc, s, nbs, parent, false))
+	ctT, ctB := m.trainCtxs(sc, s, nbs, parent)
+	train.StepInto(&s.TopS, &old.TopS, ctT)
+	train.StepInto(&s.BotS, &old.BotS, ctB)
 	if s.TopS.Alarm || s.BotS.Alarm {
 		setAlarm(AlarmTrainCycle)
 	}
 
 	// ---- Layer 5: the Ask/Show sampler with C1/C2 and piece equality. ----
+	// J(v), the claimed-level list the sampler sweeps, is a pure function of
+	// the strings, so it is rebuilt only when the label memo was dropped
+	// (full label copy, Clone, InvalidateMemo) — on the elided fast path the
+	// list rides along with the labels it derives from. Recycled states
+	// persist the rebuilt list in their memo (zero-length normalizes to nil
+	// so the two memo states compare DeepEqual); one-round fresh states
+	// borrow the per-worker scratch buffer instead of allocating.
 	samplerAlarm := false
-	sc.levels = appendClaimedLevels(sc.levels[:0], &s.L.HS)
-	m.sampler(v, s, nbs, sc.levels, n, &samplerAlarm)
+	levels := s.samplerLevels
+	if !s.samplerMemoOK {
+		if persistMemo {
+			s.samplerLevels = appendClaimedLevels(s.samplerLevels[:0], &s.L.HS)
+			if len(s.samplerLevels) == 0 {
+				s.samplerLevels = nil
+			}
+			s.samplerMemoOK = true
+			levels = s.samplerLevels
+		} else {
+			sc.levels = appendClaimedLevels(sc.levels[:0], &s.L.HS)
+			levels = sc.levels
+		}
+	}
+	m.sampler(v, s, nbs, levels, n, &samplerAlarm)
 	if samplerAlarm {
 		setAlarm(AlarmSampler)
 	}
@@ -535,41 +665,38 @@ func staticCoverageAlarm(l *train.Labels, st *train.State, need []int, hs *hiera
 	return false
 }
 
-// trainCtx assembles the train step context for one side in sc's reusable
-// context. The two sides are stepped sequentially, so one context (and one
-// Children buffer, and one parent PeerTrain slot) serves both.
-func (m *Machine) trainCtx(sc *Scratch, s *VState, nbs []nbList, parent *VState, top bool) *train.Ctx {
-	ctx := &sc.ctx
-	children := ctx.Children[:0]
-	*ctx = train.Ctx{
-		OwnID:   s.MyID,
-		Strings: &s.L.HS,
-		N:       s.L.Size.N,
-		Top:     top,
-	}
-	if top {
-		ctx.Lab = &s.L.Train.Top
-	} else {
-		ctx.Lab = &s.L.Train.Bottom
-	}
+// trainCtxs assembles both sides' train step contexts in sc's reusable
+// context pair. The two sides read the same tree relations, so one pass
+// over the neighbour list fills both children lists — half the neighbour
+// scans (and half the pointer chases into each child's label block) of
+// building the contexts one side at a time.
+func (m *Machine) trainCtxs(sc *Scratch, s *VState, nbs []nbList, parent *VState) (top, bottom *train.Ctx) {
+	ct, cb := &sc.ctx, &sc.ctxB
+	chT, chB := ct.Children[:0], cb.Children[:0]
+	n := s.L.Size.N
+	*ct = train.Ctx{OwnID: s.MyID, Strings: &s.L.HS, N: n, Top: true, Lab: &s.L.Train.Top}
+	*cb = train.Ctx{OwnID: s.MyID, Strings: &s.L.HS, N: n, Top: false, Lab: &s.L.Train.Bottom}
 	if parent != nil {
-		sc.parentPeer = train.PeerTrain{S: trainSide(parent, top), L: labelSide(parent, top)}
-		ctx.Parent = &sc.parentPeer
+		sc.parentPeer = train.PeerTrain{S: &parent.TopS, L: &parent.L.Train.Top}
+		sc.parentPeerB = train.PeerTrain{S: &parent.BotS, L: &parent.L.Train.Bottom}
+		ct.Parent = &sc.parentPeer
+		cb.Parent = &sc.parentPeerB
 	}
 	for q := range nbs {
 		if nbs[q].ok && nbs[q].isChild {
-			children = append(children, train.PeerTrain{
-				S: trainSide(nbs[q].st, top),
-				L: labelSide(nbs[q].st, top),
-			})
+			st := nbs[q].st
+			tl := &st.L.Train
+			chT = append(chT, train.PeerTrain{S: &st.TopS, L: &tl.Top})
+			chB = append(chB, train.PeerTrain{S: &st.BotS, L: &tl.Bottom})
 		}
 	}
-	ctx.Children = children
+	ct.Children, cb.Children = chT, chB
 	if m.Mode == Async {
 		sc.self = s
-		ctx.Wanted = sc.wantedFn()
+		w := sc.wantedFn()
+		ct.Wanted, cb.Wanted = w, w
 	}
-	return ctx
+	return ct, cb
 }
 
 // nbList mirrors the anonymous neighbour record of Step; declared here so
@@ -585,11 +712,4 @@ func trainSide(s *VState, top bool) *train.State {
 		return &s.TopS
 	}
 	return &s.BotS
-}
-
-func labelSide(s *VState, top bool) *train.Labels {
-	if top {
-		return &s.L.Train.Top
-	}
-	return &s.L.Train.Bottom
 }

@@ -33,6 +33,20 @@
 // and the two configurations are bit-identical in every protocol-visible
 // field. In a quiet network the verifier's round cost is proportional to
 // change, not to n × (label size).
+//
+// The dynamic layer rides the same change clock. Alongside the static
+// verdict, VState memoizes every label-derived quantity the per-round path
+// would otherwise re-derive: the label portion of BitSize (re-measured by
+// the engine's instrumentation at every node every round), the claimed-level
+// list J(v) the sampler sweeps, and the candidate port of the level being
+// asked about (captured with AskPiece once per dwell window, as protocol
+// state). On a memo-hit in-place step even the deep label copy is elided —
+// the recycled state's label buffers provably already hold the current
+// labels (see Machine.StepInto). Invalidation is uniform: a full label copy,
+// Clone, or InvalidateMemo (called by the engine on SetState/Corrupt and by
+// ApplyFault) drops every cache, so a quiet round performs close to zero
+// redundant work per node while staying bit-identical to FullRecheck —
+// including MaxStateBits.
 package verify
 
 import (

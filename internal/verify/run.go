@@ -161,7 +161,15 @@ func (r *Runner) InjectKind(v int, kind FaultKind, rng *rand.Rand) bool {
 // VStates inside composite states (the self-stabilizing transformer).
 // degree is the node's degree (used by FaultComponent). It reports whether
 // the state actually changed.
+//
+// Every simulator-side memo the state carries (static verdict, cached label
+// BitSize, claimed-level list) is dropped up front: most fault kinds rewrite
+// the very labels those caches measure, and a stale cache would let e.g.
+// MaxStateBits keep reporting bits the corruption removed. Engine-level
+// injection (SetState/Corrupt) invalidates again — this call covers direct
+// uses of ApplyFault on states held outside an engine.
 func ApplyFault(s *VState, kind FaultKind, rng *rand.Rand, degree int) bool {
+	s.InvalidateMemo()
 	switch kind {
 	case FaultStoredPieceW:
 		// Prefer bottom pieces: every bottom-stored piece's fragment is

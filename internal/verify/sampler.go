@@ -26,8 +26,13 @@ import (
 // between activations (§7.2.2).
 
 // sampler advances the Ask/Show machinery by one step and feeds the alarm.
-// levels is J(v) as computed by appendClaimedLevels (passed in so the
-// zero-allocation step path can reuse its buffer).
+// levels is J(v) as maintained by the claimed-level memo in StepInto.
+//
+// The sweep is batched per (node, active level): the delimiter split, the
+// candidate port and J(v) itself are all pure functions of the (verified)
+// labels, so they are evaluated once per step, once per dwell window, and
+// once per label change respectively — the per-neighbour loop touches only
+// the neighbour's Show buffer, which genuinely changes every round.
 func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n int, alarm *bool) {
 	if len(levels) == 0 {
 		s.AskValid = false
@@ -43,18 +48,21 @@ func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n i
 	// StaticWindow alongside the static verdict.
 	window := s.StaticWindow
 	j := levels[s.AskIdx]
+	split := train.LevelSplit(n)
 
 	if !s.AskValid {
-		// Capture I(Fj(v)) from the node's own train.
-		side := topSide(j, n)
-		d := trainSide(s, side).Down
-		if train.Member(d, &s.L.HS, side, n) && d.P.ID.Level == j {
+		// Capture I(Fj(v)) from the node's own train, together with the
+		// candidate port of Fj(v) — fixed for the whole dwell window.
+		side := j >= split
+		d := &trainSide(s, side).Down
+		if train.MemberAt(d, &s.L.HS, side, split) && d.P.ID.Level == j {
 			// §8 root identity check: the fragment root's piece must carry
 			// its own identity.
 			if s.L.HS.Roots[j] == hierarchy.RootsYes && d.P.ID.RootID != s.MyID {
 				*alarm = true
 			}
 			s.AskPiece = d.P
+			s.CandPort = candidatePort(s, nbs, j)
 			s.AskValid = true
 			s.AskTimer = window
 			s.CapTimer = 0
@@ -66,23 +74,20 @@ func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n i
 			if s.CapTimer > window {
 				// The train never delivered the piece: its own cycle-set
 				// check raises the alarm; move on so other levels are
-				// still exercised.
-				s.CapTimer = 0
-				s.AskIdx = (s.AskIdx + 1) % len(levels)
+				// still exercised. advanceLevel owns the wrap invariant
+				// (AskIdx stays in [0, len(levels))) for every site.
+				s.advanceLevel(len(levels))
 			}
 			return
 		}
 	}
 
-	// The candidate port depends only on (labels, level), not on which
-	// neighbour is being compared: hoisted out of the loop, the comparison
-	// sweep is O(Δ) instead of O(Δ²).
-	cand := candidatePort(s, nbs, s.AskPiece.ID.Level)
+	cand := s.CandPort
 
 	if m.Mode == Sync {
-		for q := 0; q < v.Degree(); q++ {
+		for q := range nbs {
 			if nbs[q].ok {
-				m.compare(v, s, nbs, q, cand, alarm)
+				m.compare(v, s, nbs, q, cand, split, alarm)
 			}
 		}
 		s.AskTimer--
@@ -93,7 +98,7 @@ func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n i
 	}
 
 	// Asynchronous mode: serve one neighbour at a time.
-	deg := v.Degree()
+	deg := len(nbs)
 	if deg == 0 {
 		s.advanceLevel(len(levels))
 		return
@@ -105,7 +110,7 @@ func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n i
 	q := s.ServerCur
 	served := true
 	if nbs[q].ok {
-		served = m.compare(v, s, nbs, q, cand, alarm)
+		served = m.compare(v, s, nbs, q, cand, split, alarm)
 	}
 	if served {
 		s.ServerCur++
@@ -131,6 +136,11 @@ func (m *Machine) sampler(v NodeView, s *VState, nbs []nbList, levels []int, n i
 	}
 }
 
+// advanceLevel moves the Ask cursor to the next level and resets every
+// per-level sampler register. It is the single owner of the wrap invariant
+// (0 ≤ AskIdx < numLevels); all sites — dwell expiry, capture timeout, the
+// asynchronous server sweep — go through it, so the invariant cannot
+// silently diverge between paths.
 func (s *VState) advanceLevel(numLevels int) {
 	s.AskValid = false
 	s.AskIdx = (s.AskIdx + 1) % numLevels
@@ -138,16 +148,19 @@ func (s *VState) advanceLevel(numLevels int) {
 	s.ServerCur = 0
 	s.ServerTmr = 0
 	s.Want = train.Want{}
+	s.CandPort = -1
 }
 
 // compare runs the level-j checks against the neighbour at port q; cand is
-// the candidate port of Fj(v) (candidatePort, hoisted by the caller). It
-// returns true when the comparison is complete (the event E(v,u,j) of §7.2
-// occurred or needs no piece), false when v must keep waiting for u's train.
-func (m *Machine) compare(v NodeView, s *VState, nbs []nbList, q, cand int, alarm *bool) bool {
+// the candidate port of Fj(v) and split the delimiter LevelSplit(n) — both
+// level/label-derived loop invariants hoisted by the caller (cand once per
+// dwell window, split once per step), so the per-neighbour work is only the
+// Show-buffer comparison itself. It returns true when the comparison is
+// complete (the event E(v,u,j) of §7.2 occurred or needs no piece), false
+// when v must keep waiting for u's train.
+func (m *Machine) compare(v NodeView, s *VState, nbs []nbList, q, cand, split int, alarm *bool) bool {
 	u := nbs[q].st
 	j := s.AskPiece.ID.Level
-	n := s.L.Size.N
 	w := v.Weight(q)
 	isCand := cand == q
 
@@ -162,16 +175,16 @@ func (m *Machine) compare(v NodeView, s *VState, nbs []nbList, q, cand int, alar
 		}
 		return true
 	}
-	side := topSide(j, n)
-	d := trainSide(u, side).Down
-	if !train.Member(d, &u.L.HS, side, n) || d.P.ID.Level != j {
+	side := j >= split
+	d := &trainSide(u, side).Down
+	if !train.MemberAt(d, &u.L.HS, side, split) || d.P.ID.Level != j {
 		return false // u's piece not visible yet
 	}
-	theirs := d.P
+	theirs := &d.P
 	if theirs.ID == s.AskPiece.ID {
 		// Same fragment: pieces must agree in full (EQ), and the candidate
 		// edge must not be internal (C1).
-		if theirs != s.AskPiece {
+		if *theirs != s.AskPiece {
 			*alarm = true
 		}
 		if isCand {
@@ -245,6 +258,3 @@ func appendClaimedLevels(dst []int, hs *hierarchy.Strings) []int {
 	}
 	return dst
 }
-
-// topSide reports whether level j rides the top train (the §8 delimiter).
-func topSide(j, n int) bool { return j >= train.LevelSplit(n) }
