@@ -1,0 +1,88 @@
+package ssmst
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestApplyChurnFacade drives the public churn surface: every menu kind
+// through ssmst.ApplyChurn on a verification run — MST-preserving kinds
+// silent, MST-breaking kinds detected — and the self-stabilizing runner
+// satisfying the same ChurnTarget interface.
+func TestApplyChurnFacade(t *testing.T) {
+	g := RandomGraph(64, 160, 21)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(l, Sync, 1)
+	budget := DetectionBudget(g.N())
+	if err := v.RunQuiet(budget / 4); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range []ChurnKind{ChurnWeightKeep, ChurnCut, ChurnAddHeavy} {
+		ev, ok := ApplyChurn(v, kind, rng)
+		if !ok {
+			t.Fatalf("no %v mutation available", kind)
+		}
+		if err := v.RunQuiet(60); err != nil {
+			t.Fatalf("MST-preserving %v raised an alarm: %v", ev, err)
+		}
+	}
+	ev, ok := ApplyChurn(v, ChurnWeightBreak, rng)
+	if !ok {
+		t.Fatal("no weight-break mutation available")
+	}
+	rounds, alarms, detected := v.RunUntilAlarm(2 * budget)
+	if !detected {
+		t.Fatalf("MST-breaking %v was never detected", ev)
+	}
+	if rounds > budget {
+		t.Fatalf("detection took %d rounds, over the budget %d", rounds, budget)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("detection reported no alarming nodes")
+	}
+
+	// The transformer satisfies the same facade interface.
+	var _ ChurnTarget = NewSelfStabilizing(g, g.N(), Sync, 1)
+}
+
+// TestChurnQuietAllocFree is the live-topology half of the zero-alloc gate:
+// after a burst of MST-preserving churn (weight flip, link cut with port
+// compaction, link insertion), the settled verifier round is again
+// allocation-free with zero label copies — the mutation invalidates exactly
+// the touched region and the fast paths resume.
+func TestChurnQuietAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	g := RandomGraph(192, 480, 6)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(l, Sync, 1)
+	v.Eng.RunSyncRounds(8)
+	rng := rand.New(rand.NewSource(11))
+	for _, kind := range []ChurnKind{ChurnWeightKeep, ChurnCut, ChurnAddHeavy} {
+		if _, ok := ApplyChurn(v, kind, rng); !ok {
+			t.Fatalf("no %v mutation available", kind)
+		}
+		v.Eng.RunSyncRounds(4) // absorb the invalidated region
+	}
+	// Let every recycled buffer (including the grown-degree endpoints') reach
+	// steady-state capacity again.
+	v.Eng.RunSyncRounds(8)
+	copies := v.Machine.LabelCopies()
+	if avg := testing.AllocsPerRun(16, v.Eng.StepSync); avg != 0 {
+		t.Errorf("%.1f allocs per post-churn quiet round, want 0", avg)
+	}
+	if got := v.Machine.LabelCopies() - copies; got != 0 {
+		t.Errorf("%d label copies across post-churn quiet rounds, want 0 (memo-hit elision must resume)", got)
+	}
+	if err := v.RunQuiet(40); err != nil {
+		t.Fatalf("post-churn network is not quiet: %v", err)
+	}
+}

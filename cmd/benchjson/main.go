@@ -11,12 +11,21 @@
 // overwriting the previous trajectory point. The measurement itself is
 // core.MeasureVerifierRound — the same code that produces the E14b table.
 //
+// The report additionally carries one "churn" row: the detection latency
+// (in rounds) of a live MST-breaking weight flip at n=4096, applied through
+// Engine.MutateTopology with the incremental verifier running — the
+// live-topology workload's headline number, tracked in the same trajectory
+// file as the round costs.
+//
 // -out has no default: every caller (CI included) names its own snapshot
 // explicitly. With -baseline the command additionally guards against
 // perf regressions: it compares the freshly measured incremental quiet
 // round at n=4096 against the committed baseline file and exits non-zero
-// when it is more than -maxregress slower. Noisy or slow runners can skip
-// the guard (never the measurement) by setting SSMST_BENCH_SKIP_GUARD=1.
+// when it is more than -maxregress slower, and checks the deterministic
+// churn detection latency for exact reproduction (skipping, with a message,
+// baselines that predate the churn row). A missing baseline file is an
+// explicit error, never a zero-value comparison. Noisy or slow runners can
+// skip the guard (never the measurement) by setting SSMST_BENCH_SKIP_GUARD=1.
 //
 // Usage:
 //
@@ -37,11 +46,17 @@ import (
 	"ssmst/internal/verify"
 )
 
-// Result is one measured configuration.
+// Result is one measured configuration. Exactly one of the two payloads is
+// set: the round-cost block (nil — and absent from the JSON — on the churn
+// row, so trajectory tooling never reads a bogus 0 ns datapoint) or the
+// churn detection latency.
 type Result struct {
 	N    int    `json:"n"`
-	Path string `json:"path"` // "incremental" | "full-recheck" | "clone"
-	core.RoundCost
+	Path string `json:"path"` // "incremental" | "full-recheck" | "clone" | "churn"
+	*core.RoundCost
+	// DetectRounds is set on the "churn" row only: rounds from a live
+	// MST-breaking weight flip (Engine.MutateTopology) to the first alarm.
+	DetectRounds int `json:"detect_rounds,omitempty"`
 }
 
 // Report is the file schema.
@@ -71,16 +86,32 @@ func main() {
 	}
 
 	// Read the baseline before measuring (and before writing: -out and
-	// -baseline may name the same committed file).
+	// -baseline may name the same committed file). A missing baseline file
+	// is a hard, explicit error — comparing against a zero-value Report
+	// would make every measurement look like an infinite regression (or,
+	// worse, a pass against 0 ns).
 	var base *Report
+	skipGuard := os.Getenv("SSMST_BENCH_SKIP_GUARD") != ""
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
-		if err != nil {
-			log.Fatalf("benchjson: read baseline: %v", err)
+		if err == nil {
+			base = new(Report)
+			if perr := json.Unmarshal(data, base); perr != nil {
+				base, err = nil, fmt.Errorf("parse %s: %w", *baseline, perr)
+			}
 		}
-		base = new(Report)
-		if err := json.Unmarshal(data, base); err != nil {
-			log.Fatalf("benchjson: parse baseline %s: %v", *baseline, err)
+		switch {
+		case err == nil:
+		case skipGuard:
+			// The env var's contract: skip the guard, never the measurement —
+			// a missing, unreadable or corrupt baseline must not kill the run
+			// when the guard is off.
+			fmt.Printf("bench guard: baseline unusable (%v); guard skipped (SSMST_BENCH_SKIP_GUARD set), measurement proceeds\n", err)
+		case os.IsNotExist(err):
+			log.Fatalf("benchjson: baseline %s does not exist — bootstrap it with 'go run ./cmd/benchjson -out %s' on a trusted build, or drop -baseline to measure without the guard",
+				*baseline, *baseline)
+		default:
+			log.Fatalf("benchjson: baseline: %v", err)
 		}
 	}
 
@@ -104,13 +135,21 @@ func main() {
 			{"full-recheck", true, true},
 			{"clone", false, true},
 		} {
-			rep.Results = append(rep.Results, Result{
-				N:         n,
-				Path:      cfg.path,
-				RoundCost: core.MeasureVerifierRound(g, l, cfg.inplace, cfg.fullRecheck, *rounds, 1),
-			})
+			cost := core.MeasureVerifierRound(g, l, cfg.inplace, cfg.fullRecheck, *rounds, 1)
+			rep.Results = append(rep.Results, Result{N: n, Path: cfg.path, RoundCost: &cost})
 		}
 	}
+	// The churn row: detection latency after a live MST-breaking weight flip
+	// at the guarded n — the new workload's headline number, tracked in the
+	// same trajectory file as the round costs. A failed measurement (never
+	// detected, or no event planned) is fatal — but only AFTER the report is
+	// written: the round costs already measured must persist so the failure
+	// can be diagnosed from the artifact.
+	churn, churnPlanned := core.MeasureChurnDetection(guardN, verify.ChurnWeightBreak, 1)
+	if churnPlanned && churn.Detected {
+		rep.Results = append(rep.Results, Result{N: guardN, Path: "churn", DetectRounds: churn.DetectRounds})
+	}
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -121,17 +160,22 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
 
+	if !churnPlanned || !churn.Detected {
+		log.Fatalf("benchjson: churn measurement failed at n=%d (planned=%v detected=%v); %s was still written without the churn row",
+			guardN, churnPlanned, churn.Detected, *out)
+	}
+
 	if base != nil {
-		if os.Getenv("SSMST_BENCH_SKIP_GUARD") != "" {
+		if skipGuard {
 			fmt.Println("bench guard: skipped (SSMST_BENCH_SKIP_GUARD set)")
 			return
 		}
 		want, got := findGuardRow(base), findGuardRow(&rep)
-		if want == nil {
-			log.Fatalf("bench guard: baseline %s has no (n=%d, %s) row", *baseline, guardN, guardPath)
+		if want == nil || want.RoundCost == nil {
+			log.Fatalf("bench guard: baseline %s has no (n=%d, %s) cost row", *baseline, guardN, guardPath)
 		}
-		if got == nil {
-			log.Fatalf("bench guard: measurement produced no (n=%d, %s) row", guardN, guardPath)
+		if got == nil || got.RoundCost == nil {
+			log.Fatalf("bench guard: measurement produced no (n=%d, %s) cost row", guardN, guardPath)
 		}
 		// The committed baseline is a min over repeated runs; judging it
 		// against a single fresh sample would bias the guard toward false
@@ -150,12 +194,32 @@ func main() {
 			log.Fatalf("bench guard: regression: %d ns/round exceeds baseline %d by more than %.0f%% (set SSMST_BENCH_SKIP_GUARD=1 on noisy runners)",
 				got.NsPerRound, want.NsPerRound, 100**maxRegress)
 		}
+
+		// Churn detection latency is deterministic (fixed seed, synchronous
+		// rounds): the baseline value must reproduce exactly. A baseline
+		// predating the churn row skips the comparison explicitly rather
+		// than comparing against a zero value.
+		wantC, gotC := findRow(base, "churn"), findRow(&rep, "churn")
+		switch {
+		case wantC == nil:
+			fmt.Printf("bench guard: baseline %s has no (n=%d, churn) row (predates the churn workload); churn comparison skipped\n",
+				*baseline, guardN)
+		case gotC == nil:
+			log.Fatalf("bench guard: measurement produced no (n=%d, churn) row", guardN)
+		case wantC.DetectRounds != gotC.DetectRounds:
+			log.Fatalf("bench guard: churn detection latency changed: %d rounds vs baseline %d (deterministic; a change means the detection pipeline behaves differently)",
+				gotC.DetectRounds, wantC.DetectRounds)
+		default:
+			fmt.Printf("bench guard: churn detection n=%d: %d rounds, matches baseline\n", guardN, gotC.DetectRounds)
+		}
 	}
 }
 
-func findGuardRow(r *Report) *Result {
+func findGuardRow(r *Report) *Result { return findRow(r, guardPath) }
+
+func findRow(r *Report, path string) *Result {
 	for i := range r.Results {
-		if r.Results[i].N == guardN && r.Results[i].Path == guardPath {
+		if r.Results[i].N == guardN && r.Results[i].Path == path {
 			return &r.Results[i]
 		}
 	}

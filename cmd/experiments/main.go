@@ -41,6 +41,10 @@ Flags:
     detectionasync    E4 — asynchronous detection time (O(Δ·log³ n))
     detectionscaling  E3/E12 past n=10⁴ on the incremental in-place engine
                       (minutes of wall clock; not part of "all")
+    churnscaling      E3-churn — detection latency under live topology churn
+                      (weight flips, link cut/add through MutateTopology) at
+                      n∈{1024,4096,16384}; minutes of wall clock, not part
+                      of "all"
     distance          E5 — fault-to-alarm distance (O(f·log n))
     construction      E6 — SYNC_MST vs GHS construction rounds and memory
     memory            E7 — label bits: this scheme (O(log n)) vs KK (log² n)
@@ -54,7 +58,7 @@ Flags:
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|detectionscaling|distance|construction|memory|partitions|selfstab|lowerbound|enginescaling")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|detectionscaling|churnscaling|distance|construction|memory|partitions|selfstab|lowerbound|enginescaling")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Usage = usage
 	flag.Parse()
@@ -75,6 +79,10 @@ func main() {
 		// E3/E12 past n=10⁴ on the in-place engine; minutes of wall clock,
 		// so it is not part of the default suite.
 		tables = append(tables, core.DetectionScaling([]int{1024, 4096, 16384}, 1, *seed))
+	case "churnscaling":
+		// Detection latency under live topology churn; minutes of wall
+		// clock, so it is not part of the default suite.
+		tables = append(tables, core.ChurnScaling([]int{1024, 4096, 16384}, 1, *seed))
 	case "distance":
 		tables = append(tables, core.DetectionDistance(64, []int{1, 2, 4}, *seed))
 	case "construction":

@@ -35,6 +35,8 @@ Examples:
 
   go run ./cmd/mstlab -n 64 -m 160 -seed 3            # quiet verification
   go run ./cmd/mstlab -n 64 -fault roots -async        # detect a §5 fault
+  go run ./cmd/mstlab -n 64 -churn weight-break        # detect a live weight flip
+  go run ./cmd/mstlab -selfstab -n 32 -churn add-light # rebuild after link churn
   go run ./cmd/mstlab -selfstab -n 32                  # full §10 stabilization
   go run ./cmd/mstlab -n 4096 -serial -fullrecheck     # reference step path
 
@@ -56,6 +58,17 @@ Run-mode flags:
               piece's fragment id), roots (a Roots string entry, §5), endp
               (an EndP entry, §5), spdist (SP distance, §2.6), sizen (the
               NumK node count), component (re-point the parent pointer)
+  -churn kind mutate the live topology after the warm-up instead of
+              corrupting a register: the graph changes under the running
+              pipeline (Engine.MutateTopology: CSR re-sync, port remapping,
+              dirty-epoch bumps). MST-preserving kinds must stay silent;
+              MST-breaking kinds are detected like any other fault. Kinds:
+              weight-keep (raise a non-tree weight), weight-break (drop a
+              non-tree weight below its cycle max), cut (remove a non-tree
+              link), add-heavy (insert a heavier-than-everything link),
+              add-light (insert a link closing a lighter cycle). With
+              -selfstab the transformer additionally rebuilds the MST of
+              the mutated graph after an MST-breaking event
 
 Engine flags (the knobs BenchmarkEngineScaling measures):
 
@@ -76,6 +89,7 @@ func main() {
 	m := flag.Int("m", 0, "number of edges (0: 2.5n)")
 	seed := flag.Int64("seed", 1, "random seed")
 	fault := flag.String("fault", "", "inject a fault: piecew|pieceid|roots|endp|spdist|sizen|component")
+	churn := flag.String("churn", "", "mutate the live topology: weight-keep|weight-break|cut|add-heavy|add-light")
 	async := flag.Bool("async", false, "asynchronous daemon")
 	selfstab := flag.Bool("selfstab", false, "run the self-stabilizing construction instead")
 	serial := flag.Bool("serial", false, "disable worker-pool fan-out for synchronous rounds")
@@ -95,12 +109,21 @@ func main() {
 	if *m == 0 {
 		*m = *n * 5 / 2
 	}
+	if *fault != "" && *churn != "" {
+		log.Fatal("-fault and -churn are mutually exclusive (one injected event per run)")
+	}
+	churnKind, churnOK := ssmst.ParseChurnKind(*churn)
+	if *churn != "" && !churnOK {
+		log.Fatalf("unknown churn kind %q", *churn)
+	}
 	g := ssmst.RandomGraph(*n, *m, *seed)
 	mode := ssmst.Sync
 	if *async {
 		mode = ssmst.Async
 	}
-	fmt.Printf("graph: n=%d m=%d Δ=%d diameter=%d\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
+	// Diameter is the O(n+m) double-sweep value: exact on trees, a lower
+	// bound (within 2×) on general graphs — hence the ≥ in the banner.
+	fmt.Printf("graph: n=%d m=%d Δ=%d diameter≥%d\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
 
 	if *selfstab {
 		var r *ssmst.SelfStabilizing
@@ -116,6 +139,42 @@ func main() {
 		rounds, ok := r.RunUntilStable(2 * r.StabilizationBudget())
 		fmt.Printf("self-stabilizing MST: stabilized=%v in %d rounds, MST=%v, max bits/node=%d\n",
 			ok, rounds, r.OutputIsMST(), r.Eng.MaxStateBits())
+		if *churn == "" {
+			return
+		}
+		if !ok {
+			log.Fatalf("cannot inject the requested churn: the network did not stabilize within 2× budget")
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		ev, applied := ssmst.ApplyChurn(r, churnKind, rng)
+		if !applied {
+			log.Fatalf("no %v mutation available", churnKind)
+		}
+		fmt.Printf("churn: %v applied to the stabilized network\n", ev)
+		if !churnKind.BreaksMST() {
+			for i := 0; i < 60; i++ {
+				r.Step()
+				if !r.Eng.AllDone() {
+					log.Fatalf("MST-preserving churn knocked the network out of the check phase at round %d", i+1)
+				}
+			}
+			fmt.Printf("network held the check phase for 60 rounds; output MST=%v ✓\n", r.OutputIsMST())
+			return
+		}
+		detect := -1
+		for i := 0; i < 2*ssmst.DetectionBudget(g.N()); i++ {
+			r.Step()
+			if !r.Eng.AllDone() {
+				detect = i + 1
+				break
+			}
+		}
+		if detect < 0 {
+			log.Fatal("MST-breaking churn was never detected")
+		}
+		rounds2, ok2 := r.RunUntilStable(2 * r.StabilizationBudget())
+		fmt.Printf("detected in %d rounds; re-stabilized=%v in %d rounds on the mutated graph, MST=%v\n",
+			detect, ok2, rounds2, r.OutputIsMST())
 		return
 	}
 
@@ -141,6 +200,35 @@ func main() {
 	}
 	tune(v.Eng)
 	budget := ssmst.DetectionBudget(g.N())
+	if *churn != "" {
+		v.Eng.RunSyncRounds(budget / 4)
+		rng := rand.New(rand.NewSource(*seed))
+		ev, applied := ssmst.ApplyChurn(v, churnKind, rng)
+		if !applied {
+			log.Fatalf("no %v mutation available", churnKind)
+		}
+		fmt.Printf("churn: %v applied under the running verifier\n", ev)
+		if !churnKind.BreaksMST() {
+			if err := v.RunQuiet(budget); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("verifier silent for %d rounds after MST-preserving churn ✓ (max bits/node %d)\n",
+				budget, v.Eng.MaxStateBits())
+			return
+		}
+		detect, alarms, found := v.RunUntilAlarm(2 * budget)
+		if !found {
+			log.Fatal("MST-breaking churn was never detected")
+		}
+		dists := verify.DetectionDistance(g, []int{ev.U, ev.V}, alarms)
+		d := dists[0]
+		if len(dists) > 1 && dists[1] >= 0 && (d < 0 || dists[1] < d) {
+			d = dists[1]
+		}
+		fmt.Printf("churn %v: detected in %d rounds, distance %d from the mutated link, %d alarming nodes\n",
+			ev, detect, d, len(alarms))
+		return
+	}
 	if *fault == "" {
 		if err := v.RunQuiet(budget); err != nil {
 			log.Fatal(err)

@@ -14,6 +14,20 @@
 // form (Adjacency / Adj): per-port peer, peer-port and weight arrays laid
 // out struct-of-arrays, so a round over all nodes streams the neighbourhood
 // data instead of pointer-chasing per-node slices.
+//
+// # Live topology
+//
+// Graphs are mutable: AddEdge, RemoveEdge and SetWeight may be called at any
+// point, not just during construction. Every mutation bumps the graph's
+// Version; the cached CSR is patched in place (SetWeight) or rebuilt on the
+// next Adjacency call (AddEdge/RemoveEdge), so CSR reads can never observe a
+// pre-mutation topology. RemoveEdge compacts port numbers (ports above the
+// removed one shift down by one at each endpoint) and keeps edge indices
+// dense (the last edge is swapped into the freed slot). Consumers that hold
+// port- or version-sensitive state across mutations — the runtime engine —
+// subscribe to a change journal (StartChangeLog / ChangesSince) that records,
+// per mutation, the endpoints and the port movements needed to remap
+// port-indexed state.
 package graph
 
 import (
@@ -50,10 +64,58 @@ type Graph struct {
 	adj   [][]Half
 	edges []Edge
 
-	// csr is the flattened adjacency (built lazily by Adjacency, invalidated
-	// by AddEdge); csrEdges is the edge count it was built at.
-	csr      *Adj
-	csrEdges int
+	// version counts mutations (AddEdge, RemoveEdge, SetWeight). csr is the
+	// flattened adjacency, built lazily by Adjacency and valid only while
+	// csrVersion == version: mutations either patch it in place and advance
+	// csrVersion with the graph (SetWeight) or leave csrVersion behind so the
+	// next Adjacency call rebuilds (AddEdge, RemoveEdge). Versioning — not an
+	// edge count — is what keeps a remove+add pair from serving a stale CSR.
+	version    int64
+	csr        *Adj
+	csrVersion int64
+
+	// Change journal: once logging is on (StartChangeLog) every mutation
+	// appends a Change, so engines holding port- or topology-derived state
+	// can re-sync precisely. Off during plain construction, so bulk AddEdge
+	// loops journal nothing. The journal is bounded (maxJournal): when full,
+	// the oldest half is dropped and logBase advances, so a consumer that
+	// far behind gets ok=false from ChangesSince and falls back to a full
+	// re-sync — memory stays O(1) in the mutation count with graceful
+	// degradation, never silent change loss.
+	logging bool
+	logBase int64 // versions ≤ logBase are not journaled
+	changes []Change
+}
+
+// maxJournal bounds the change journal length; see the field comment.
+const maxJournal = 4096
+
+// ChangeKind says what a Change did to the graph.
+type ChangeKind uint8
+
+// The mutation kinds recorded in the change journal.
+const (
+	WeightChanged ChangeKind = iota
+	EdgeAdded
+	EdgeRemoved
+)
+
+func (k ChangeKind) String() string {
+	return [...]string{"weight-changed", "edge-added", "edge-removed"}[k]
+}
+
+// Change is one journal entry: a mutation, the version it produced, its
+// endpoints and — for removals — the port compaction data a consumer needs
+// to remap port-indexed state (ports above PortU/PortV shifted down by one
+// at the respective endpoint; OldDegU/OldDegV are the degrees *before* the
+// removal, i.e. the domain size of the remap).
+type Change struct {
+	Version          int64
+	Kind             ChangeKind
+	U, V             int
+	W                Weight
+	PortU, PortV     int // EdgeRemoved: removed ports; EdgeAdded: new ports
+	OldDegU, OldDegV int // EdgeRemoved only: degrees before the removal
 }
 
 // Adj is the graph's adjacency flattened into CSR (compressed sparse row)
@@ -69,8 +131,12 @@ type Graph struct {
 // within one cache line per 8 ports).
 //
 // The arrays are owned by the graph and must not be modified. An Adj is a
-// frozen snapshot: it reflects the graph at the time of the Adjacency call
-// and is safe for concurrent readers as long as no AddEdge intervenes.
+// snapshot: it reflects the graph at the time of the Adjacency call and is
+// safe for concurrent readers as long as no mutation intervenes. SetWeight
+// patches the current snapshot's Weight column in place; AddEdge and
+// RemoveEdge orphan it (the next Adjacency call rebuilds), so holders must
+// re-fetch after structural mutations — the runtime engine does this in
+// MutateTopology/ResyncTopology.
 type Adj struct {
 	Off      []int32 // len n+1: node v's slots are [Off[v], Off[v+1])
 	Peer     []int32 // neighbour node index per slot
@@ -83,11 +149,13 @@ type Adj struct {
 func (a *Adj) Degree(v int) int { return int(a.Off[v+1] - a.Off[v]) }
 
 // Adjacency returns the CSR form of the adjacency, building (or rebuilding,
-// after AddEdge) it on first use. Not safe to call concurrently with AddEdge
-// or with another first-use Adjacency call; engines freeze it once at
-// construction.
+// after a structural mutation) it on first use. The cache is validated by
+// the graph's mutation version, so a remove+add pair — which leaves the edge
+// count unchanged — can never serve the pre-mutation arrays. Not safe to
+// call concurrently with a mutation or with another first-use Adjacency
+// call; engines fetch it at construction and re-fetch in MutateTopology.
 func (g *Graph) Adjacency() *Adj {
-	if g.csr != nil && g.csrEdges == len(g.edges) {
+	if g.csr != nil && g.csrVersion == g.version {
 		return g.csr
 	}
 	n := g.N()
@@ -114,8 +182,86 @@ func (g *Graph) Adjacency() *Adj {
 		}
 	}
 	a.Off[n] = pos
-	g.csr, g.csrEdges = a, len(g.edges)
+	g.csr, g.csrVersion = a, g.version
 	return a
+}
+
+// Version returns the graph's mutation counter: it advances on every
+// AddEdge, RemoveEdge and SetWeight, and is what consumers compare to decide
+// whether topology-derived caches are current.
+func (g *Graph) Version() int64 { return g.version }
+
+// StartChangeLog turns on the mutation journal: every subsequent AddEdge,
+// RemoveEdge and SetWeight appends a Change retrievable via ChangesSince.
+// The runtime engine calls it at construction; plain graph building (before
+// any engine attaches) journals nothing. Idempotent.
+func (g *Graph) StartChangeLog() {
+	if !g.logging {
+		g.logging = true
+		g.logBase = g.version
+	}
+}
+
+// ChangesSince returns the journal entries with Version > since, in
+// application order, and whether the journal covers that span. ok is false
+// when logging was not yet on at version since — the caller must then treat
+// the whole graph as changed. The returned slice aliases the journal; it is
+// valid until the next mutation-with-logging.
+func (g *Graph) ChangesSince(since int64) (cs []Change, ok bool) {
+	if !g.logging || since < g.logBase {
+		return nil, false
+	}
+	// Entries are version-ordered; find the first one past since.
+	lo, hi := 0, len(g.changes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.changes[mid].Version <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return g.changes[lo:], true
+}
+
+// TrimChangeLog drops journal entries with Version ≤ upTo — an optional
+// eager reclaim for callers that know every consumer has re-synced past
+// upTo (the journal is bounded by maxJournal regardless, so calling this is
+// never required for memory safety). After trimming, ChangesSince below
+// upTo reports ok=false.
+func (g *Graph) TrimChangeLog(upTo int64) {
+	if !g.logging {
+		return
+	}
+	// Clamp: trimming "past the end" must not advance logBase beyond the
+	// version counter, or ChangesSince would report a gap — and consumers
+	// would degrade to full re-syncs — for future spans the journal in fact
+	// covers.
+	if upTo > g.version {
+		upTo = g.version
+	}
+	keep := 0
+	for keep < len(g.changes) && g.changes[keep].Version <= upTo {
+		keep++
+	}
+	if keep > 0 {
+		g.changes = append(g.changes[:0], g.changes[keep:]...)
+		if upTo > g.logBase {
+			g.logBase = upTo
+		}
+	}
+}
+
+func (g *Graph) logChange(c Change) {
+	if !g.logging {
+		return
+	}
+	if len(g.changes) >= maxJournal {
+		drop := len(g.changes) / 2
+		g.logBase = g.changes[drop-1].Version
+		g.changes = append(g.changes[:0], g.changes[drop:]...)
+	}
+	g.changes = append(g.changes, c)
 }
 
 // New creates a graph with n nodes and the given identities. If ids is nil,
@@ -220,7 +366,106 @@ func (g *Graph) AddEdge(u, v int, w Weight) (int, error) {
 	pu, pv := len(g.adj[u]), len(g.adj[v])
 	g.adj[u] = append(g.adj[u], Half{Peer: v, PeerPort: pv, Edge: e})
 	g.adj[v] = append(g.adj[v], Half{Peer: u, PeerPort: pu, Edge: e})
+	g.version++
+	g.logChange(Change{Version: g.version, Kind: EdgeAdded, U: u, V: v, W: w, PortU: pu, PortV: pv})
 	return e, nil
+}
+
+// SetWeight changes the weight of edge e. The cached CSR, if current, is
+// patched in place (both half-edge slots), so holders of the Adj snapshot —
+// the runtime engine — read the new weight without a rebuild.
+func (g *Graph) SetWeight(e int, w Weight) error {
+	if e < 0 || e >= len(g.edges) {
+		return fmt.Errorf("graph: SetWeight: edge %d out of range m=%d", e, len(g.edges))
+	}
+	ed := &g.edges[e]
+	if ed.W == w {
+		return nil
+	}
+	patch := g.csr != nil && g.csrVersion == g.version
+	ed.W = w
+	g.version++
+	if patch {
+		for _, v := range [2]int{ed.U, ed.V} {
+			base := int(g.csr.Off[v])
+			for p, h := range g.adj[v] {
+				if h.Edge == e {
+					g.csr.Weight[base+p] = w
+					break
+				}
+			}
+		}
+		g.csrVersion = g.version // the in-place patch keeps the snapshot current
+	}
+	g.logChange(Change{Version: g.version, Kind: WeightChanged, U: ed.U, V: ed.V, W: w})
+	return nil
+}
+
+// RemoveEdge deletes edge e from the graph. Ports are compacted at both
+// endpoints — every port above the removed one shifts down by one, and the
+// peers of the shifted half-edges have their PeerPort records updated — and
+// edge indices stay dense (the last edge is swapped into slot e). The cached
+// CSR is orphaned; the change journal records the removed ports and the
+// pre-removal degrees so subscribed engines can remap port-indexed state.
+func (g *Graph) RemoveEdge(e int) error {
+	if e < 0 || e >= len(g.edges) {
+		return fmt.Errorf("graph: RemoveEdge: edge %d out of range m=%d", e, len(g.edges))
+	}
+	ed := g.edges[e]
+	pu, pv := -1, -1
+	for p, h := range g.adj[ed.U] {
+		if h.Edge == e {
+			pu = p
+			break
+		}
+	}
+	for p, h := range g.adj[ed.V] {
+		if h.Edge == e {
+			pv = p
+			break
+		}
+	}
+	if pu < 0 || pv < 0 {
+		return fmt.Errorf("graph: RemoveEdge: edge %d not present in adjacency", e)
+	}
+	ch := Change{
+		Kind: EdgeRemoved, U: ed.U, V: ed.V, W: ed.W,
+		PortU: pu, PortV: pv,
+		OldDegU: len(g.adj[ed.U]), OldDegV: len(g.adj[ed.V]),
+	}
+	g.compactPort(ed.U, pu)
+	g.compactPort(ed.V, pv)
+	// Keep edge indices dense: move the last edge into the freed slot and
+	// re-point the two halves that referenced it.
+	last := len(g.edges) - 1
+	if e != last {
+		le := g.edges[last]
+		g.edges[e] = le
+		for _, x := range [2]int{le.U, le.V} {
+			for p, h := range g.adj[x] {
+				if h.Edge == last {
+					g.adj[x][p].Edge = e
+					break
+				}
+			}
+		}
+	}
+	g.edges = g.edges[:last]
+	g.csr = nil // structural change: the snapshot's Off/Peer arrays are wrong
+	g.version++
+	ch.Version = g.version
+	g.logChange(ch)
+	return nil
+}
+
+// compactPort removes port p of node v and shifts the ports above it down by
+// one, updating the PeerPort record each shifted half-edge's peer holds.
+func (g *Graph) compactPort(v, p int) {
+	g.adj[v] = append(g.adj[v][:p], g.adj[v][p+1:]...)
+	for q := p; q < len(g.adj[v]); q++ {
+		h := g.adj[v][q]
+		g.adj[h.Peer][h.PeerPort].PeerPort = q
+	}
 }
 
 // MustAddEdge is AddEdge for construction code with static arguments.
@@ -322,9 +567,38 @@ func (g *Graph) BFSDistances(src int) []int {
 	return dist
 }
 
-// Diameter returns the hop diameter of a connected graph (0 for n ≤ 1).
-// It runs BFS from every node; intended for test/experiment sizes.
+// Diameter returns the hop diameter of a connected graph (0 for n ≤ 1),
+// computed by the double-sweep bound: BFS from an arbitrary node to find a
+// farthest node a, then BFS from a and return a's eccentricity. Two BFS
+// passes — O(n+m) — instead of the previous all-pairs O(n·m) sweep, so it is
+// safe to call per churn event at n=65536. The value is exact on trees (a is
+// always an endpoint of a diametral path) and a lower bound within a factor
+// of 2 on general graphs; callers needing the exact general-graph value use
+// DiameterExact.
 func (g *Graph) Diameter() int {
+	if g.N() <= 1 {
+		return 0
+	}
+	a, _ := farthest(g.BFSDistances(0))
+	_, ecc := farthest(g.BFSDistances(a))
+	return ecc
+}
+
+// farthest returns the node with the largest finite distance, and that
+// distance.
+func farthest(dist []int) (node, d int) {
+	for v, x := range dist {
+		if x > d {
+			node, d = v, x
+		}
+	}
+	return node, d
+}
+
+// DiameterExact returns the exact hop diameter by running BFS from every
+// node — O(n·m), intended for test/reference sizes only (Diameter is the
+// production path).
+func (g *Graph) DiameterExact() int {
 	d := 0
 	for v := 0; v < g.N(); v++ {
 		for _, x := range g.BFSDistances(v) {

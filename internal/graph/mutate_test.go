@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// csrAgrees asserts the cached CSR returned by Adjacency agrees
+// slot-for-slot with the per-node Half slices.
+func csrAgrees(t *testing.T, g *Graph) {
+	t.Helper()
+	a := g.Adjacency()
+	if int(a.Off[g.N()]) != 2*g.M() {
+		t.Fatalf("total CSR slots %d, want %d", a.Off[g.N()], 2*g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if a.Degree(v) != g.Degree(v) {
+			t.Fatalf("node %d: CSR degree %d, want %d", v, a.Degree(v), g.Degree(v))
+		}
+		for p, h := range g.Ports(v) {
+			slot := int(a.Off[v]) + p
+			if int(a.Peer[slot]) != h.Peer || int(a.PeerPort[slot]) != h.PeerPort ||
+				int(a.Edge[slot]) != h.Edge || a.Weight[slot] != g.Edge(h.Edge).W {
+				t.Fatalf("node %d port %d: CSR slot disagrees with Half %+v", v, p, h)
+			}
+		}
+	}
+}
+
+// TestAdjacencyInvalidation is the regression lock for the stale-CSR bug:
+// the memoized CSR used to be validated by edge count alone, so a
+// remove+add pair (count unchanged) — or any SetWeight — kept serving
+// pre-mutation Off/Peer/Weight arrays. Every mutation kind must either
+// patch the snapshot or force a rebuild.
+func TestAdjacencyInvalidation(t *testing.T) {
+	g := RandomConnected(64, 160, 3)
+	a := g.Adjacency()
+
+	// SetWeight patches in place: same snapshot object, new weight visible.
+	e := 17
+	if err := g.SetWeight(e, 999_999); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Adjacency(); got != a {
+		t.Fatal("SetWeight must patch the CSR snapshot, not orphan it")
+	}
+	csrAgrees(t, g)
+
+	// Remove+add keeps the edge count constant — the old count-based cache
+	// check could not see it. The CSR must rebuild and re-agree.
+	ed := g.Edge(e)
+	if err := g.RemoveEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	u, w := ed.U, -1
+	for x := g.N() - 1; x >= 0; x-- {
+		if x != u && g.PortTo(u, x) < 0 {
+			w = x
+			break
+		}
+	}
+	if w < 0 {
+		t.Fatal("no absent edge to re-add")
+	}
+	if _, err := g.AddEdge(u, w, 777_777); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Adjacency(); got == a {
+		t.Fatal("CSR not rebuilt after remove+add with unchanged edge count")
+	}
+	csrAgrees(t, g)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveEdgeCompaction: port compaction keeps the adjacency well-formed
+// (port symmetry, canonical edges, dense edge ids) under a randomized
+// add/remove/reweight storm, checked against Validate and the CSR after
+// every mutation.
+func TestRemoveEdgeCompaction(t *testing.T) {
+	g := RandomConnected(40, 100, 7)
+	rng := rand.New(rand.NewSource(41))
+	nextW := Weight(1_000_000)
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(3) {
+		case 0: // remove a random edge (keep the graph non-trivial)
+			if g.M() > 20 {
+				if err := g.RemoveEdge(rng.Intn(g.M())); err != nil {
+					t.Fatalf("step %d: RemoveEdge: %v", i, err)
+				}
+			}
+		case 1: // add a random absent edge
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u != v && g.PortTo(u, v) < 0 {
+				nextW++
+				if _, err := g.AddEdge(u, v, nextW); err != nil {
+					t.Fatalf("step %d: AddEdge: %v", i, err)
+				}
+			}
+		default:
+			nextW++
+			if err := g.SetWeight(rng.Intn(g.M()), nextW); err != nil {
+				t.Fatalf("step %d: SetWeight: %v", i, err)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		csrAgrees(t, g)
+	}
+}
+
+// TestChangeJournal: the journal records every mutation after
+// StartChangeLog with the data needed to replay port compaction, supports
+// multiple consumers at different versions, and reports ok=false for spans
+// it does not cover.
+func TestChangeJournal(t *testing.T) {
+	g := RandomConnected(16, 30, 5)
+	if _, ok := g.ChangesSince(0); ok {
+		t.Fatal("journal must be off before StartChangeLog")
+	}
+	g.StartChangeLog()
+	v0 := g.Version()
+	if cs, ok := g.ChangesSince(v0); !ok || len(cs) != 0 {
+		t.Fatalf("fresh journal: got (%v, %v), want (empty, true)", cs, ok)
+	}
+
+	ed := g.Edge(4)
+	degU, degV := g.Degree(ed.U), g.Degree(ed.V)
+	if err := g.RemoveEdge(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetWeight(0, 123_456); err != nil {
+		t.Fatal(err)
+	}
+	v1 := g.Version()
+	if _, err := g.AddEdge(ed.U, ed.V, 654_321); err != nil {
+		t.Fatal(err)
+	}
+
+	cs, ok := g.ChangesSince(v0)
+	if !ok || len(cs) != 3 {
+		t.Fatalf("ChangesSince(v0): got %d entries ok=%v, want 3 entries", len(cs), ok)
+	}
+	rm := cs[0]
+	if rm.Kind != EdgeRemoved || rm.OldDegU != degU || rm.OldDegV != degV {
+		t.Fatalf("removal entry %+v: want EdgeRemoved with old degrees (%d,%d)", rm, degU, degV)
+	}
+	if rm.PortU < 0 || rm.PortU >= degU || rm.PortV < 0 || rm.PortV >= degV {
+		t.Fatalf("removal entry ports out of range: %+v", rm)
+	}
+	if cs[1].Kind != WeightChanged || cs[2].Kind != EdgeAdded {
+		t.Fatalf("journal order wrong: %+v", cs)
+	}
+	// A late consumer sees only the tail.
+	if cs2, ok := g.ChangesSince(v1); !ok || len(cs2) != 1 || cs2[0].Kind != EdgeAdded {
+		t.Fatalf("ChangesSince(v1): got %+v ok=%v", cs2, ok)
+	}
+	// Trimming drops coverage below the trim point.
+	g.TrimChangeLog(v1)
+	if _, ok := g.ChangesSince(v0); ok {
+		t.Fatal("journal must report ok=false for a trimmed span")
+	}
+	if cs3, ok := g.ChangesSince(v1); !ok || len(cs3) != 1 {
+		t.Fatalf("trim must keep the tail: got %+v ok=%v", cs3, ok)
+	}
+	// Over-trimming clamps to the current version: future mutations are
+	// still journaled and covered (logBase must never outrun the counter).
+	g.TrimChangeLog(g.Version() + 100)
+	v2 := g.Version()
+	if err := g.SetWeight(0, 999_111); err != nil {
+		t.Fatal(err)
+	}
+	if cs4, ok := g.ChangesSince(v2); !ok || len(cs4) != 1 {
+		t.Fatalf("post-over-trim mutation must be covered: got %+v ok=%v", cs4, ok)
+	}
+}
+
+// TestChangeJournalBounded: the journal never grows past its cap — the
+// oldest half is dropped and a consumer that far behind gets ok=false (the
+// full-resync fallback), while an up-to-date consumer still reads its tail.
+func TestChangeJournalBounded(t *testing.T) {
+	g := New(4, nil)
+	g.MustAddEdge(0, 1, 1)
+	g.StartChangeLog()
+	early := g.Version()
+	for i := 0; i < 3*maxJournal; i++ {
+		if err := g.SetWeight(0, Weight(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(g.changes) > maxJournal {
+		t.Fatalf("journal grew to %d entries, cap is %d", len(g.changes), maxJournal)
+	}
+	if _, ok := g.ChangesSince(early); ok {
+		t.Fatal("a consumer behind the dropped span must get ok=false")
+	}
+	mid := g.Version()
+	if err := g.SetWeight(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := g.ChangesSince(mid)
+	if !ok || len(cs) != 1 || cs[0].W != 7 {
+		t.Fatalf("current consumer must read its tail: got %+v ok=%v", cs, ok)
+	}
+}
+
+// TestDiameterDoubleSweep: the double-sweep Diameter is exact on trees and
+// a valid lower bound (within the known factor) on general graphs, checked
+// against the exhaustive all-pairs BFS reference.
+func TestDiameterDoubleSweep(t *testing.T) {
+	trees := []*Graph{
+		Path(17, 1), Star(9, 2), Caterpillar(8, 3, 3),
+		RandomTree(33, 4), RandomTree(64, 9), Path(2, 1), New(1, nil),
+	}
+	for i, g := range trees {
+		if got, want := g.Diameter(), g.DiameterExact(); got != want {
+			t.Fatalf("tree %d: double-sweep %d, exhaustive %d (must be exact on trees)", i, got, want)
+		}
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		g := RandomConnected(48, 100+int(seed)*7, seed)
+		got, want := g.Diameter(), g.DiameterExact()
+		if got > want || 2*got < want {
+			t.Fatalf("seed %d: double-sweep %d outside [⌈D/2⌉, D] for D=%d", seed, got, want)
+		}
+	}
+	// MSTs are trees: exactness holds on the spanning trees the budgets use.
+	g := RandomConnected(60, 150, 11)
+	edges, err := Kruskal(g, ByWeight(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := New(g.N(), nil)
+	for _, e := range edges {
+		ed := g.Edge(e)
+		tg.MustAddEdge(ed.U, ed.V, ed.W)
+	}
+	if got, want := tg.Diameter(), tg.DiameterExact(); got != want {
+		t.Fatalf("MST: double-sweep %d, exhaustive %d", got, want)
+	}
+}

@@ -60,12 +60,22 @@
 // This is what makes the verifier's round cost proportional to change
 // rather than to n (see internal/verify).
 //
+// The topology itself is mutable between rounds: Engine.MutateTopology
+// applies graph mutations (weight changes, link insertion/deletion — the
+// paper treats these as first-class faults) and re-syncs every
+// topology-derived structure — the CSR snapshot, port-indexed protocol
+// state (PortRemapper), per-node memo caches (MemoInvalidator) and the
+// dirty epochs of the touched neighbourhoods — so memoizing machines stay
+// bit-identical to their full-recheck reference across churn. See DESIGN.md
+// § "Live topology".
+//
 // An Engine is not safe for concurrent use: Step* calls and state accessors
 // must be externally serialized. Distinct engines may step concurrently and
 // share the worker pool.
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	gort "runtime"
@@ -101,10 +111,27 @@ type Terminator interface {
 // its BitSize, its claimed-level list, and its static verdict). The engine
 // calls InvalidateMemo on every state installed through SetState or Corrupt
 // — the injection paths mutate state behind the step function, so any memo
-// the state carries may describe content that no longer exists. Steps never
-// need it: in-step mutations maintain their own caches.
+// the state carries may describe content that no longer exists — and on the
+// states of every node a topology mutation touched (MutateTopology /
+// ResyncTopology): a changed neighbourhood invalidates verdicts computed
+// over the old one. Steps never need it: in-step mutations maintain their
+// own caches.
 type MemoInvalidator interface {
 	InvalidateMemo()
+}
+
+// PortRemapper is implemented by states that store local port numbers
+// (parent pointers, candidate ports, MWOE proposals). When a topology
+// mutation compacts a node's ports (graph.RemoveEdge shifts every port above
+// the removed one down by one), the engine calls RemapPorts on that node's
+// states with a table mapping old port → new port, -1 for the removed port,
+// so port-indexed protocol state keeps naming the same physical edges. A
+// state that does not implement the interface keeps its raw port values —
+// under a self-stabilizing machine the resulting inconsistency is an
+// ordinary transient fault, detected and repaired, but detection latency and
+// FullRecheck parity are only guaranteed for remapping states.
+type PortRemapper interface {
+	RemapPorts(oldToNew []int)
 }
 
 // View is a stepping node's window onto the network: its own identity,
@@ -296,15 +323,18 @@ const stepChunk = 128
 
 // Engine executes a Machine over a graph under one of the two daemons.
 type Engine struct {
-	g       *graph.Graph
-	adj     *graph.Adj // frozen CSR adjacency; all View topology reads
-	machine Machine
-	inplace InPlaceStepper // non-nil iff machine implements the fast path
-	states  []State
-	prev    []State // spare buffer; swapped with states each sync round
-	round   int
-	seed    int64
-	rng     *rand.Rand
+	g   *graph.Graph
+	adj *graph.Adj // CSR adjacency snapshot; all View topology reads.
+	// topoVersion is the graph version adj (and every per-node memo) was
+	// synced at; MutateTopology/ResyncTopology advance it.
+	topoVersion int64
+	machine     Machine
+	inplace     InPlaceStepper // non-nil iff machine implements the fast path
+	states      []State
+	prev        []State // spare buffer; swapped with states each sync round
+	round       int
+	seed        int64
+	rng         *rand.Rand
 
 	// Jitter > 0 makes the asynchronous daemon activate each node
 	// 1+Poisson-like extra times per time unit.
@@ -355,19 +385,23 @@ type Engine struct {
 	mu       sync.Mutex // guards the merge of per-worker reductions
 }
 
-// New creates an engine with clean-start states from machine.Init.
+// New creates an engine with clean-start states from machine.Init. The
+// graph's change journal is started, so topology mutations made after this
+// point can be re-synced precisely (MutateTopology / ResyncTopology).
 func New(g *graph.Graph, machine Machine, seed int64) *Engine {
+	g.StartChangeLog()
 	e := &Engine{
-		g:       g,
-		adj:     g.Adjacency(),
-		machine: machine,
-		states:  make([]State, g.N()),
-		prev:    make([]State, g.N()),
-		seed:    seed,
-		rng:     rand.New(rand.NewSource(seed)),
-		alarmed: make([]bool, g.N()),
-		done:    make([]bool, g.N()),
-		dirty:   make([]int64, g.N()),
+		g:           g,
+		adj:         g.Adjacency(),
+		topoVersion: g.Version(),
+		machine:     machine,
+		states:      make([]State, g.N()),
+		prev:        make([]State, g.N()),
+		seed:        seed,
+		rng:         rand.New(rand.NewSource(seed)),
+		alarmed:     make([]bool, g.N()),
+		done:        make([]bool, g.N()),
+		dirty:       make([]int64, g.N()),
 	}
 	e.inplace, _ = machine.(InPlaceStepper)
 	e.view.engine = e
@@ -463,6 +497,122 @@ func (e *Engine) commitMarks() {
 // Corrupt applies an adversarial mutation to node v's state.
 func (e *Engine) Corrupt(v int, f func(State) State) {
 	e.SetState(v, f(e.states[v].Clone()))
+}
+
+// ErrResyncDegraded is returned by MutateTopology when the mutation WAS
+// applied but the re-sync could not replay the journal precisely (the span
+// exceeded the journal — e.g. a single f applying more than maxJournal
+// mutations, or an engine already behind a trimmed journal): every node was
+// conservatively invalidated, but port-indexed state was not remapped and
+// must be treated as a fault injection — see ResyncTopology.
+var ErrResyncDegraded = errors.New("runtime: topology re-sync degraded (journal gap): port-indexed state not remapped")
+
+// MutateTopology applies a topology mutation — graph.SetWeight, AddEdge,
+// RemoveEdge, or any combination — to the engine's graph between rounds and
+// re-syncs the engine with the result (ResyncTopology). In the paper's
+// model a link insertion, deletion or weight change is just another fault
+// the network must detect and recover from; this is the supported injection
+// point for it. Must not be called while a Step* is in flight. An error
+// from f aborts after re-syncing whatever f already applied; a nil f error
+// with a degraded re-sync returns ErrResyncDegraded (the mutation is in
+// effect either way).
+func (e *Engine) MutateTopology(f func(*graph.Graph) error) error {
+	err := f(e.g)
+	if precise := e.ResyncTopology(); !precise && err == nil {
+		err = ErrResyncDegraded
+	}
+	return err
+}
+
+// ResyncTopology brings the engine up to date with mutations applied to its
+// graph directly, or through another engine sharing it (reference runs step
+// the same mutated graph under several configurations). Per journaled
+// change it:
+//
+//   - re-fetches the CSR adjacency snapshot (stale Off/Peer arrays are
+//     never read again);
+//   - remaps port-indexed state at endpoints whose ports were compacted
+//     (PortRemapper), in both state buffers;
+//   - drops the touched nodes' simulator-side memos (MemoInvalidator) and
+//     re-measures them (bit high-water, alarm/termination flags);
+//   - bumps the endpoints' dirty epochs past the current round, exactly as
+//     SetState does, so memoizing machines re-check the changed
+//     neighbourhoods on their next step while the rest of the network keeps
+//     replaying its verdicts.
+//
+// The return value reports whether the replay was precise. If the graph's
+// journal does not cover the span (the graph was mutated before the engine
+// attached, trimmed too far, or overflowed maxJournal), it returns false:
+// every node is conservatively treated as touched, but port-indexed state
+// CANNOT be remapped — after a removal in the uncovered gap, ports stored
+// in states may name different physical edges. A self-stabilizing machine
+// treats that as an adversarial transient and recovers; callers relying on
+// churn-parity or silence guarantees (the verify-only pipeline) must treat
+// a false return as a fault injection, not a clean mutation.
+func (e *Engine) ResyncTopology() (precise bool) {
+	if e.g.Version() == e.topoVersion {
+		return true
+	}
+	changes, ok := e.g.ChangesSince(e.topoVersion)
+	e.adj = e.g.Adjacency()
+	epoch := int64(e.round) + 1
+	if !ok {
+		for v := 0; v < e.g.N(); v++ {
+			e.touchTopology(v, epoch)
+		}
+		e.topoVersion = e.g.Version()
+		return false
+	}
+	for _, c := range changes {
+		if c.Kind == graph.EdgeRemoved {
+			e.remapPorts(c.U, c.PortU, c.OldDegU)
+			e.remapPorts(c.V, c.PortV, c.OldDegV)
+		}
+		e.touchTopology(c.U, epoch)
+		e.touchTopology(c.V, epoch)
+	}
+	e.topoVersion = e.g.Version()
+	return true
+}
+
+// touchTopology marks node v as changed by a topology mutation: dirty past
+// the current round, memos dropped in both buffers, instrumentation
+// re-measured.
+func (e *Engine) touchTopology(v int, epoch int64) {
+	e.bumpDirty(v, epoch)
+	for _, s := range [2]State{e.states[v], e.prev[v]} {
+		if mi, ok := s.(MemoInvalidator); ok {
+			mi.InvalidateMemo()
+		}
+	}
+	e.noteState(v)
+}
+
+// remapPorts rewrites port-indexed state at node v after the removal of
+// port removed (old degree oldDeg): ports above it shifted down by one.
+// Both state buffers are remapped — the spare buffer's state is recycled as
+// scratch two rounds later and must not resurrect a stale port through the
+// memo-hit fast path.
+func (e *Engine) remapPorts(v, removed, oldDeg int) {
+	if oldDeg <= 0 {
+		return
+	}
+	m := make([]int, oldDeg)
+	for q := range m {
+		switch {
+		case q < removed:
+			m[q] = q
+		case q == removed:
+			m[q] = -1
+		default:
+			m[q] = q - 1
+		}
+	}
+	for _, s := range [2]State{e.states[v], e.prev[v]} {
+		if pr, ok := s.(PortRemapper); ok {
+			pr.RemapPorts(m)
+		}
+	}
 }
 
 // noteState refreshes the incremental instrumentation for node v's current
@@ -736,19 +886,31 @@ func (e *Engine) AnyAlarm() (int, bool) {
 	return -1, false
 }
 
-// AlarmNodes returns all nodes currently raising an alarm. The no-alarm
-// case is O(1).
+// AlarmNodes returns all nodes currently raising an alarm in a fresh slice.
+// The no-alarm case is O(1) and allocation-free; hot loops that poll every
+// round use AppendAlarmNodes with a recycled buffer instead.
 func (e *Engine) AlarmNodes() []int {
 	if e.alarmCount == 0 {
 		return nil
 	}
-	out := make([]int, 0, e.alarmCount)
+	return e.AppendAlarmNodes(make([]int, 0, e.alarmCount))
+}
+
+// AppendAlarmNodes appends all nodes currently raising an alarm to buf
+// (pass buf[:0] to reuse capacity) and returns the extended slice — the
+// caller-buffer variant of AlarmNodes, allocation-free once buf has grown
+// to the alarm population, so per-round polling stays on the engine's
+// zero-alloc path. The no-alarm case is O(1).
+func (e *Engine) AppendAlarmNodes(buf []int) []int {
+	if e.alarmCount == 0 {
+		return buf
+	}
 	for i, a := range e.alarmed {
 		if a {
-			out = append(out, i)
+			buf = append(buf, i)
 		}
 	}
-	return out
+	return buf
 }
 
 // AllDone reports whether every node's state signals termination. O(1).

@@ -1,6 +1,7 @@
 package selfstab
 
 import (
+	"errors"
 	"math/rand"
 
 	"ssmst/internal/graph"
@@ -219,6 +220,58 @@ func (r *Runner) InjectCheckFault(v int, f func(*verify.VState) bool) bool {
 	r.Eng.SetState(v, c)
 	return true
 }
+
+// ApplyChurn plans a topology-mutation fault of the given kind against the
+// currently output tree and applies it through the engine
+// (runtime.Engine.MutateTopology): CSR re-sync, port remapping in every
+// phase's sub-state, memo invalidation and dirty-epoch bumps at the touched
+// neighbourhoods. An MST-preserving kind leaves the stabilized network
+// checking quietly; an MST-breaking kind is detected by the check phase,
+// which starts a new epoch and rebuilds the MST of the mutated graph.
+//
+// It reports the planned event and whether one was applied. Planning
+// requires a coherent output to classify edges against: every node in the
+// quiet check phase (Engine.AllDone) and the output forming a spanning
+// tree — otherwise ok is false and nothing is mutated (planning against a
+// half-built parent forest could misclassify a bridge as a removable
+// non-tree edge). Mid-rebuild mutations remain available through
+// Eng.MutateTopology directly, as arbitrary adversarial events.
+func (r *Runner) ApplyChurn(kind verify.ChurnKind, rng *rand.Rand) (verify.ChurnEvent, bool) {
+	ev := verify.ChurnEvent{Kind: kind, U: -1, V: -1}
+	if !r.Eng.AllDone() {
+		return ev, false
+	}
+	if _, spanning := r.OutputEdges(); !spanning {
+		return ev, false
+	}
+	g := r.Eng.G()
+	parent := make([]int, g.N())
+	for v := range parent {
+		parent[v] = -1
+		if st, ok := r.Eng.State(v).(*SState); ok && st.Check != nil {
+			if pp := st.Check.ParentPort; pp >= 0 && pp < g.Degree(v) {
+				parent[v] = g.Half(v, pp).Peer
+			}
+		}
+	}
+	planned, apply, ok := verify.PlanChurn(g, parent, kind, rng)
+	if !ok {
+		return planned, false
+	}
+	// A degraded re-sync still applied the mutation; the unremapped port
+	// state is one more transient the transformer detects and rebuilds from.
+	if err := r.Eng.MutateTopology(apply); err != nil && !errors.Is(err, runtime.ErrResyncDegraded) {
+		return planned, false
+	}
+	return planned, true
+}
+
+// ResyncTopology re-syncs this runner's engine after its graph was mutated
+// externally (another runner sharing the graph applied the churn). It
+// reports whether the replay was precise; on false, unremapped port state
+// is an adversarial transient the transformer detects and rebuilds from —
+// see runtime.Engine.ResyncTopology.
+func (r *Runner) ResyncTopology() bool { return r.Eng.ResyncTopology() }
 
 // InjectLabelFault corrupts a node's verifier state post-stabilization.
 func (r *Runner) InjectLabelFault(v int, rng *rand.Rand) bool {

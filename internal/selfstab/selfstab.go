@@ -123,6 +123,21 @@ func (s *SState) InvalidateMemo() {
 	}
 }
 
+// RemapPorts implements runtime.PortRemapper by forwarding to every
+// port-carrying sub-state: the build slots (parent/MWOE/proposal ports) and
+// the embedded verifier (parent pointer, candidate port). The transformer
+// bookkeeping itself is port-free.
+func (s *SState) RemapPorts(oldToNew []int) {
+	for _, b := range [...]*syncmst.State{s.Build, s.BuildPrev} {
+		if b != nil {
+			b.RemapPorts(oldToNew)
+		}
+	}
+	if s.Check != nil {
+		s.Check.RemapPorts(oldToNew)
+	}
+}
+
 // Alarm reports the verifier's output during the check phase.
 func (s *SState) Alarm() bool {
 	return s.Phase == PhaseCheck && s.Check != nil && s.Check.AlarmFlag
@@ -136,6 +151,7 @@ var (
 	_ runtime.InPlaceStepper  = (*Machine)(nil)
 	_ runtime.Alarmer         = (*SState)(nil)
 	_ runtime.MemoInvalidator = (*SState)(nil)
+	_ runtime.PortRemapper    = (*SState)(nil)
 )
 
 // Machine is the transformer register program.

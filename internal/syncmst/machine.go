@@ -67,6 +67,20 @@ type State struct {
 // Clone returns a deep copy of the state.
 func (s *State) Clone() runtime.State { c := *s; return &c }
 
+// RemapPorts implements runtime.PortRemapper: every port-valued field —
+// the parent pointer, the local and subtree MWOE candidates, the merge
+// proposal — moves with the edge it names when a topology mutation compacts
+// this node's ports; a field naming the removed edge collapses to the -1
+// sentinel (no parent / no candidate), which the protocol already treats as
+// an ordinary transient condition.
+func (s *State) RemapPorts(oldToNew []int) {
+	for _, p := range [...]*int{&s.ParentPort, &s.OwnBestPort, &s.BestPort, &s.ProposePort} {
+		if *p >= 0 && *p < len(oldToNew) {
+			*p = oldToNew[*p]
+		}
+	}
+}
+
 // BitSize counts the encoded width of every field; all fields are
 // identities, ports, weights, levels or flags — O(log n) in total.
 func (s *State) BitSize() int {

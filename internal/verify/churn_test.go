@@ -1,0 +1,233 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ssmst/internal/graph"
+)
+
+// churnRunners builds the three configurations every churn assertion runs
+// against: incremental serial, incremental parallel-forced, and the
+// full-recheck reference — all stepping the same shared, mutable graph.
+func churnRunners(t *testing.T, n, m int, seed int64) (*graph.Graph, *Labeled, *Runner, *Runner, *Runner) {
+	t.Helper()
+	g := graph.RandomConnected(n, m, seed)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewRunner(l, Sync, 3)
+	inc.Eng.Parallel = false
+	par := NewRunner(l, Sync, 3)
+	par.Eng.ParallelThreshold = 1
+	par.Eng.ForcePool = true
+	full := NewFullRecheckRunner(l, Sync, 3)
+	full.Eng.Parallel = false
+	return g, l, inc, par, full
+}
+
+// applyShared applies one planned churn event to the graph the three
+// runners share: mutate through the first engine, re-sync the rest.
+func applyShared(apply func(*graph.Graph) error, first *Runner, rest ...*Runner) error {
+	if err := first.Eng.MutateTopology(apply); err != nil {
+		return err
+	}
+	for _, r := range rest {
+		if !r.ResyncTopology() {
+			return fmt.Errorf("shared-graph resync degraded (journal gap) — parity no longer guaranteed")
+		}
+	}
+	return nil
+}
+
+// TestChurnParityWithFullRecheck is the acceptance criterion of the
+// live-topology subsystem: through a randomized churn schedule covering
+// every mutation kind — weight perturbations that preserve and break
+// MST-hood, link cuts with port compaction, link insertions closing heavy
+// and light cycles — the incremental verifier (serial and parallel-forced)
+// stays bit-identical to the full-recheck reference in every
+// protocol-visible field, every node, every round, including MaxStateBits.
+func TestChurnParityWithFullRecheck(t *testing.T) {
+	g, l, inc, par, full := churnRunners(t, 80, 200, 13)
+	runners := []*Runner{inc, par, full}
+
+	compare := func(r int) {
+		t.Helper()
+		for v := 0; v < g.N(); v++ {
+			want := stripEpoch(full.Eng.State(v))
+			if got := stripEpoch(inc.Eng.State(v)); !reflect.DeepEqual(want, got) {
+				t.Fatalf("round %d node %d: incremental state diverged from full re-check under churn\n got %+v\nwant %+v", r, v, got, want)
+			}
+			if got := stripEpoch(par.Eng.State(v)); !reflect.DeepEqual(want, got) {
+				t.Fatalf("round %d node %d: parallel incremental state diverged from full re-check under churn", r, v)
+			}
+			if got, fresh := inc.Eng.State(v).BitSize(), want.BitSize(); got != fresh {
+				t.Fatalf("round %d node %d: memoized BitSize %d, cold re-measure %d", r, v, got, fresh)
+			}
+		}
+		if ib, pb, fb := inc.Eng.MaxStateBits(), par.Eng.MaxStateBits(), full.Eng.MaxStateBits(); ib != fb || pb != fb {
+			t.Fatalf("round %d: MaxStateBits diverged under churn: incremental %d parallel %d full %d", r, ib, pb, fb)
+		}
+	}
+	round := 0
+	step := func(k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			for _, r := range runners {
+				r.Step()
+			}
+			round++
+			compare(round)
+		}
+	}
+
+	step(25) // memos settle before the storm
+
+	// A deterministic prefix guarantees every kind is exercised, then a
+	// randomized tail (RandomChurn: uniform kind draw with cross-kind
+	// retry, so the schedule never stalls) mixes kinds and interleaves
+	// quiet stretches.
+	rng := rand.New(rand.NewSource(29))
+	kinds := []ChurnKind{ChurnWeightKeep, ChurnCut, ChurnAddHeavy, ChurnWeightBreak, ChurnAddLight}
+	for i := 0; i < 9; i++ {
+		var (
+			ev    ChurnEvent
+			apply func(*graph.Graph) error
+			ok    bool
+		)
+		if i < len(kinds) {
+			ev, apply, ok = PlanChurn(g, l.Tree.Parent, kinds[i], rng)
+		} else {
+			ev, apply, ok = RandomChurn(g, l.Tree.Parent, rng)
+		}
+		if !ok {
+			t.Logf("event %d: no mutation available, skipped", i)
+			continue
+		}
+		if err := applyShared(apply, inc, par, full); err != nil {
+			t.Fatalf("event %d (%v): %v", i, ev, err)
+		}
+		compare(round) // the mutation itself (remap + invalidation) must agree
+		step(12 + rng.Intn(8))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invariants violated after the schedule: %v", err)
+	}
+}
+
+// TestChurnDetectionRoundsMatch pins the detection-latency half of the
+// acceptance criterion: an MST-breaking churn event is detected in exactly
+// the same round by the incremental and the full-recheck verifier, with the
+// same alarming nodes; MST-preserving events before it keep both silent.
+func TestChurnDetectionRoundsMatch(t *testing.T) {
+	for _, kind := range []ChurnKind{ChurnWeightBreak, ChurnAddLight} {
+		g, l, inc, _, full := churnRunners(t, 96, 240, 17+int64(kind))
+		budget := DetectionBudget(g.N())
+		rng := rand.New(rand.NewSource(int64(71 + kind)))
+		both := []*Runner{inc, full}
+		for _, r := range both {
+			r.Eng.RunSyncRounds(budget / 4)
+		}
+
+		// An MST-preserving prelude: the network must stay silent through it.
+		for _, pre := range []ChurnKind{ChurnWeightKeep, ChurnCut, ChurnAddHeavy} {
+			ev, apply, ok := PlanChurn(g, l.Tree.Parent, pre, rng)
+			if !ok {
+				continue
+			}
+			if err := applyShared(apply, inc, full); err != nil {
+				t.Fatalf("%v: %v", ev, err)
+			}
+			for _, r := range both {
+				if err := r.RunQuiet(40); err != nil {
+					t.Fatalf("MST-preserving churn %v raised an alarm: %v", ev, err)
+				}
+			}
+		}
+
+		ev, apply, ok := PlanChurn(g, l.Tree.Parent, kind, rng)
+		if !ok {
+			t.Fatalf("no %v mutation available", kind)
+		}
+		if err := applyShared(apply, inc, full); err != nil {
+			t.Fatalf("%v: %v", ev, err)
+		}
+		rI, alarmsI, okI := inc.RunUntilAlarm(2 * budget)
+		rF, alarmsF, okF := full.RunUntilAlarm(2 * budget)
+		if !okI || !okF {
+			t.Fatalf("%v not detected within 2×budget (incremental %v, full %v)", ev, okI, okF)
+		}
+		if rI != rF {
+			t.Fatalf("%v: detection rounds diverged: incremental %d, full %d", ev, rI, rF)
+		}
+		if !reflect.DeepEqual(append([]int(nil), alarmsI...), append([]int(nil), alarmsF...)) {
+			t.Fatalf("%v: alarming nodes diverged: %v vs %v", ev, alarmsI, alarmsF)
+		}
+		if rI > budget {
+			t.Fatalf("%v: detection took %d rounds, over the Theorem 8.5 budget %d", ev, rI, budget)
+		}
+	}
+}
+
+// TestChurnQuietRecovery: after MST-preserving churn the incremental
+// verifier returns to the quiet fast path — zero static recomputes and zero
+// label copies per round once the dirty epochs age out.
+func TestChurnQuietRecovery(t *testing.T) {
+	_, _, inc, _, _ := churnRunners(t, 64, 160, 23)
+	inc.Eng.RunSyncRounds(20)
+	rng := rand.New(rand.NewSource(5))
+	for _, kind := range []ChurnKind{ChurnWeightKeep, ChurnCut, ChurnAddHeavy} {
+		ev, ok := inc.ApplyChurn(kind, rng)
+		if !ok {
+			t.Fatalf("no %v mutation available", kind)
+		}
+		if err := inc.RunQuiet(30); err != nil {
+			t.Fatalf("MST-preserving churn %v raised an alarm: %v", ev, err)
+		}
+	}
+	copies, recomputes := inc.Machine.LabelCopies(), inc.Machine.StaticRecomputes()
+	if err := inc.RunQuiet(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := inc.Machine.LabelCopies() - copies; got != 0 {
+		t.Fatalf("%d label copies over 10 post-churn quiet rounds, want 0 (memo-hit elision must resume)", got)
+	}
+	if got := inc.Machine.StaticRecomputes() - recomputes; got != 0 {
+		t.Fatalf("%d static recomputes over 10 post-churn quiet rounds, want 0", got)
+	}
+}
+
+// TestVStateRemapPorts covers the port-remap contract directly: the parent
+// pointer and candidate port track their edges through compaction, a cut
+// parent collapses to a root claim, and the memos are dropped.
+func TestVStateRemapPorts(t *testing.T) {
+	s := &VState{ParentPort: 3, CandPort: 1, StaticValid: true, labelBitsOK: true, samplerMemoOK: true,
+		ServerCur: 2, ServerTmr: 5}
+	s.Want.Valid = true
+	s.RemapPorts([]int{0, 1, -1, 2}) // port 2 removed
+	if s.ParentPort != 2 || s.CandPort != 1 {
+		t.Fatalf("remap moved ports wrong: parent %d cand %d", s.ParentPort, s.CandPort)
+	}
+	if s.StaticValid || s.labelBitsOK || s.samplerMemoOK {
+		t.Fatal("remap must drop the simulator-side memos")
+	}
+	if s.ServerCur != 0 || s.ServerTmr != 0 || s.Want.Valid {
+		t.Fatal("remap must restart the async server sweep (stale cursor/Want)")
+	}
+	s.RemapPorts([]int{0, -1, 1}) // the candidate edge itself cut
+	if s.CandPort != -1 || s.ParentPort != 1 {
+		t.Fatalf("cut candidate: parent %d cand %d", s.ParentPort, s.CandPort)
+	}
+	s.RemapPorts([]int{0, -1}) // the parent edge itself cut
+	if s.ParentPort != -1 {
+		t.Fatalf("cut parent edge must claim root, got %d", s.ParentPort)
+	}
+	// A root claim (-1) is stable under further remaps.
+	s.RemapPorts([]int{0})
+	if s.ParentPort != -1 {
+		t.Fatalf("root claim disturbed by remap: %d", s.ParentPort)
+	}
+}

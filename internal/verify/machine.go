@@ -149,6 +149,31 @@ func (s *VState) InvalidateMemo() {
 	s.samplerMemoOK = false
 }
 
+// RemapPorts implements runtime.PortRemapper: after a topology mutation
+// compacts this node's ports, the port-indexed protocol state — the parent
+// pointer and the captured candidate port — is moved along with the edges
+// it names (-1 when the named edge itself was removed: a cut parent edge
+// makes the node claim root, which the SP checks then reject — exactly the
+// paper's treatment of a lost tree link). The asynchronous server sweep is
+// restarted instead of remapped (ServerCur/ServerTmr/Want reset, mirroring
+// advanceLevel): a stale cursor would skip the shifted neighbour's
+// comparison for a whole Ask cycle and a pending Want could keep naming a
+// neighbour no longer at the cursor. The simulator-side memos are dropped
+// along with it: the static verdict was computed over the old
+// neighbourhood.
+func (s *VState) RemapPorts(oldToNew []int) {
+	if s.ParentPort >= 0 && s.ParentPort < len(oldToNew) {
+		s.ParentPort = oldToNew[s.ParentPort]
+	}
+	if s.CandPort >= 0 && s.CandPort < len(oldToNew) {
+		s.CandPort = oldToNew[s.CandPort]
+	}
+	s.ServerCur = 0
+	s.ServerTmr = 0
+	s.Want = train.Want{}
+	s.InvalidateMemo()
+}
+
 // CopyFrom makes s a deep copy of src, recycling s's label buffers — the
 // in-place counterpart of Clone. s must not alias src. The label-derived
 // memo travels differently per field: labelBits is copied with the struct
@@ -227,6 +252,7 @@ var (
 	_ runtime.InPlaceStepper  = (*Machine)(nil)
 	_ runtime.Alarmer         = (*VState)(nil)
 	_ runtime.MemoInvalidator = (*VState)(nil)
+	_ runtime.PortRemapper    = (*VState)(nil)
 )
 
 // NodeView is the window one verifier step needs; the self-stabilizing
@@ -305,9 +331,11 @@ func (a runtimeView) Neighbour(port int) *VState {
 	}
 	return nil
 }
-func (a runtimeView) StepEpoch() int64                     { return int64(a.v.Round()) }
-func (a runtimeView) LabelsChangedSince(epoch int64) bool  { return a.v.NeighbourhoodChangedSince(epoch) }
-func (a runtimeView) MarkLabelsChanged()                   { a.v.MarkChanged() }
+func (a runtimeView) StepEpoch() int64 { return int64(a.v.Round()) }
+func (a runtimeView) LabelsChangedSince(epoch int64) bool {
+	return a.v.NeighbourhoodChangedSince(epoch)
+}
+func (a runtimeView) MarkLabelsChanged() { a.v.MarkChanged() }
 
 // Init installs the marker's labels and the component structure.
 func (m *Machine) Init(v *runtime.View) runtime.State {

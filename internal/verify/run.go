@@ -87,12 +87,14 @@ func (r *Runner) RunQuiet(rounds int) error {
 }
 
 // RunUntilAlarm steps until some node alarms, returning the rounds taken
-// and the alarming nodes.
+// and the alarming nodes (a fresh slice — callers may retain it across
+// further runs). The per-round poll is the engine's O(1) incremental
+// instrumentation, so the loop itself is allocation-free; the O(n) alarm
+// collection runs once, at detection. Hot loops that poll alarm sets every
+// round use Engine.AppendAlarmNodes with a recycled buffer instead.
 func (r *Runner) RunUntilAlarm(maxRounds int) (int, []int, bool) {
 	for i := 0; i < maxRounds; i++ {
 		r.Step()
-		// AnyAlarm is an O(1) read off the engine's incremental
-		// instrumentation; the O(n) AlarmNodes collection runs once.
 		if _, bad := r.Eng.AnyAlarm(); bad {
 			return i + 1, r.Eng.AlarmNodes(), true
 		}

@@ -16,6 +16,8 @@
 package ssmst
 
 import (
+	"math/rand"
+
 	"ssmst/internal/graph"
 	"ssmst/internal/runtime"
 	"ssmst/internal/selfstab"
@@ -128,6 +130,51 @@ func NewSelfStabilizingClonePath(g *Graph, bound int, mode Mode, seed int64) *Se
 // cross-checking the incremental transformer.
 func NewSelfStabilizingFullRecheck(g *Graph, bound int, mode Mode, seed int64) *SelfStabilizing {
 	return selfstab.NewFullRecheckRunner(g, bound, mode, seed)
+}
+
+// ChurnKind selects a topology-mutation fault: live weight perturbation,
+// link cut or link insertion under the running detection pipeline.
+type ChurnKind = verify.ChurnKind
+
+// ChurnEvent describes one applied topology mutation.
+type ChurnEvent = verify.ChurnEvent
+
+// The churn menu. MST-preserving kinds must keep the network silent;
+// MST-breaking kinds must be detected within the O(log² n) budget (and, in
+// the self-stabilizing transformer, trigger a rebuild over the mutated
+// graph).
+const (
+	ChurnWeightKeep  = verify.ChurnWeightKeep  // raise a non-tree weight: MST preserved
+	ChurnWeightBreak = verify.ChurnWeightBreak // drop a non-tree weight below its cycle max
+	ChurnCut         = verify.ChurnCut         // remove a non-tree link (port compaction)
+	ChurnAddHeavy    = verify.ChurnAddHeavy    // insert a link heavier than everything
+	ChurnAddLight    = verify.ChurnAddLight    // insert a link closing a lighter cycle
+)
+
+// NumChurnKinds is the size of the churn menu.
+const NumChurnKinds = verify.NumChurnKinds
+
+// ParseChurnKind resolves a churn kind by its canonical name ("weight-keep",
+// "weight-break", "cut", "add-heavy", "add-light"); ok is false for unknown
+// names. CLI menus parse against this single table.
+func ParseChurnKind(name string) (ChurnKind, bool) { return verify.ParseChurnKind(name) }
+
+// ChurnTarget is any runner that accepts live topology mutations — both
+// Verifier and SelfStabilizing do.
+type ChurnTarget interface {
+	ApplyChurn(kind ChurnKind, rng *rand.Rand) (ChurnEvent, bool)
+}
+
+// ApplyChurn plans a churn event of the given kind against the tree the
+// runner currently verifies (or outputs) and applies it through the
+// engine's topology-mutation path: the CSR adjacency is re-synced,
+// port-indexed protocol state is remapped under port compaction, and the
+// touched neighbourhoods' memo caches and dirty epochs are invalidated so
+// incremental verification stays bit-identical to a full re-check. It
+// reports the event and whether one was applied (a given kind may be
+// unavailable — e.g. no non-tree edge to cut).
+func ApplyChurn(r ChurnTarget, kind ChurnKind, rng *rand.Rand) (ChurnEvent, bool) {
+	return r.ApplyChurn(kind, rng)
 }
 
 // IsMST reports whether the edge set is the minimum spanning tree of g.
