@@ -17,6 +17,15 @@
 // live-topology workload's headline number, tracked in the same trajectory
 // file as the round costs.
 //
+// The adversarial-campaign rows extend the trajectory: "campaign" rows
+// record the detection latency of a k-edit corrupted spanning tree going
+// live under honest labels, for every graph family at n=1024 and
+// k ∈ {1, 4, 16, n/4} (deterministic, guarded for exact reproduction —
+// each run is double-checked against the centralized oracles before being
+// recorded), and one "oracle" row records the wall time of a combined
+// centralized cross-check (DFS T-lightness + cycle Union-Find) at n=4096 —
+// the sequential baseline the distributed round costs are read against.
+//
 // -out has no default: every caller (CI included) names its own snapshot
 // explicitly. With -baseline the command additionally guards against
 // perf regressions: it compares the freshly measured incremental quiet
@@ -40,9 +49,11 @@ import (
 	"log"
 	"os"
 	gort "runtime"
+	"time"
 
 	"ssmst/internal/core"
 	"ssmst/internal/graph"
+	"ssmst/internal/oracle"
 	"ssmst/internal/verify"
 )
 
@@ -52,11 +63,21 @@ import (
 // churn detection latency.
 type Result struct {
 	N    int    `json:"n"`
-	Path string `json:"path"` // "incremental" | "full-recheck" | "clone" | "churn"
+	Path string `json:"path"` // "incremental" | "full-recheck" | "clone" | "churn" | "campaign" | "oracle"
 	*core.RoundCost
-	// DetectRounds is set on the "churn" row only: rounds from a live
-	// MST-breaking weight flip (Engine.MutateTopology) to the first alarm.
+	// DetectRounds is set on the "churn" and "campaign" rows: rounds from
+	// the fault (a live MST-breaking weight flip, or a k-corrupted tree
+	// going live) to the first alarm.
 	DetectRounds int `json:"detect_rounds,omitempty"`
+	// Family and K identify a "campaign" row: the graph family and the
+	// corruption density of the corrupted-MST detection-latency sweep.
+	Family string `json:"family,omitempty"`
+	K      int    `json:"k,omitempty"`
+	// OracleNs is set on the "oracle" row only: wall time of one combined
+	// centralized cross-check (T-lightness + cycle Union-Find) on the MST
+	// of the guarded instance — the perf baseline the distributed
+	// verifier's round costs are read against.
+	OracleNs int64 `json:"oracle_ns,omitempty"`
 }
 
 // Report is the file schema.
@@ -73,6 +94,8 @@ type Report struct {
 const (
 	guardN    = 4096
 	guardPath = "incremental"
+	// campaignN is the corrupted-MST k-sweep size (k tops out at n/4).
+	campaignN = 1024
 )
 
 func main() {
@@ -150,6 +173,53 @@ func main() {
 		rep.Results = append(rep.Results, Result{N: guardN, Path: "churn", DetectRounds: churn.DetectRounds})
 	}
 
+	// Campaign rows: the corrupted-MST detection-latency k-sweep — every
+	// family at the sweep size, k from a single edit to n/4. Fully seeded
+	// (graph, corruption and engine all derive from the spec seed), so the
+	// latencies are deterministic and guarded for exact reproduction.
+	for _, fam := range core.Families() {
+		for _, k := range []int{1, 4, 16, campaignN / 4} {
+			spec := core.CampaignSpec{
+				Family: fam, N: campaignN, Scenario: core.ScenarioCorrupt, K: k,
+				Seed: verify.SubSeed(1, int64(campaignN), int64(k)),
+			}
+			res, err := core.RunCampaign(spec)
+			if err != nil {
+				log.Fatalf("benchjson: campaign %s k=%d: %v", fam, k, err)
+			}
+			if !res.Agree || !res.Detected {
+				log.Fatalf("benchjson: campaign %s k=%d: network disagrees with the oracles (detected=%v)", fam, k, res.Detected)
+			}
+			rep.Results = append(rep.Results, Result{
+				N: campaignN, Path: "campaign", Family: fam, K: k, DetectRounds: res.DetectRounds,
+			})
+		}
+	}
+
+	// The oracle baseline row: one combined centralized cross-check on the
+	// guarded instance's true MST, min over a few samples (wall time, so
+	// noisy — reported as a baseline, not gated).
+	{
+		g := graph.RandomConnected(guardN, 3*guardN, 1)
+		tree, err := graph.Kruskal(g, graph.ByWeight(g))
+		if err != nil {
+			log.Fatalf("benchjson: oracle baseline: %v", err)
+		}
+		best := int64(-1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			isMST, err := oracle.CrossCheck(g, tree, graph.ByWeight(g))
+			ns := time.Since(start).Nanoseconds()
+			if err != nil || !isMST {
+				log.Fatalf("benchjson: oracle baseline: oracles rejected the Kruskal MST (err=%v)", err)
+			}
+			if best < 0 || ns < best {
+				best = ns
+			}
+		}
+		rep.Results = append(rep.Results, Result{N: guardN, Path: "oracle", OracleNs: best})
+	}
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -212,7 +282,51 @@ func main() {
 		default:
 			fmt.Printf("bench guard: churn detection n=%d: %d rounds, matches baseline\n", guardN, gotC.DetectRounds)
 		}
+
+		// Campaign detection latencies are deterministic like the churn row:
+		// every baseline campaign row must reproduce exactly. Baselines
+		// predating the campaign sweep skip the comparison explicitly.
+		baseCampaign := campaignRows(base)
+		if len(baseCampaign) == 0 {
+			fmt.Printf("bench guard: baseline %s has no campaign rows (predates the fault-campaign sweep); campaign comparison skipped\n", *baseline)
+		} else {
+			for _, want := range baseCampaign {
+				got := findCampaignRow(&rep, want.Family, want.K)
+				if got == nil {
+					log.Fatalf("bench guard: measurement produced no campaign row (family=%s, k=%d)", want.Family, want.K)
+				}
+				if got.DetectRounds != want.DetectRounds {
+					log.Fatalf("bench guard: campaign detection latency changed (family=%s, k=%d): %d rounds vs baseline %d (deterministic; a change means the detection pipeline behaves differently)",
+						want.Family, want.K, got.DetectRounds, want.DetectRounds)
+				}
+			}
+			fmt.Printf("bench guard: %d campaign rows match baseline\n", len(baseCampaign))
+		}
+		if findRow(&rep, "oracle") == nil {
+			log.Fatalf("bench guard: measurement produced no (n=%d, oracle) baseline row", guardN)
+		}
 	}
+}
+
+// campaignRows collects every campaign k-sweep row of a report.
+func campaignRows(r *Report) []*Result {
+	var out []*Result
+	for i := range r.Results {
+		if r.Results[i].Path == "campaign" {
+			out = append(out, &r.Results[i])
+		}
+	}
+	return out
+}
+
+func findCampaignRow(r *Report, family string, k int) *Result {
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Path == "campaign" && res.Family == family && res.K == k {
+			return res
+		}
+	}
+	return nil
 }
 
 func findGuardRow(r *Report) *Result { return findRow(r, guardPath) }

@@ -51,6 +51,12 @@ Flags:
     partitions        E9 — partition shape (Lemmas 6.4/6.5)
     selfstab          E12/E13 — stabilization and fault recovery (O(n))
     lowerbound        E8 — §9 stretched instances: time × memory tradeoff
+    campaign          adversarial fault campaign: corrupted-MST detection
+                      latency vs corruption density k per graph family, plus
+                      the correlated-scenario matrix (regional outage, fault
+                      storm, churn storm, transformer re-stabilization) —
+                      every cell cross-checked against the centralized
+                      T-lightness and cycle-property oracles
     enginescaling     E14/E14b — engine rounds at growing n, serial vs
                       parallel, plus verifier round cost (clone vs full
                       re-check vs incremental; minutes of wall clock)
@@ -58,7 +64,7 @@ Flags:
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|detectionscaling|churnscaling|distance|construction|memory|partitions|selfstab|lowerbound|enginescaling")
+	exp := flag.String("exp", "all", "experiment: all|table1|table2|detection|detectionasync|detectionscaling|churnscaling|distance|construction|memory|partitions|selfstab|lowerbound|campaign|enginescaling")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Usage = usage
 	flag.Parse()
@@ -95,6 +101,9 @@ func main() {
 		tables = append(tables, core.SelfStabilization([]int{16, 32}, *seed))
 	case "lowerbound":
 		tables = append(tables, core.LowerBound([]int{1, 2, 3}, *seed))
+	case "campaign":
+		tables = append(tables, core.CampaignKSweep(core.Families(), 256, []int{1, 4, 16, 64}, *seed))
+		tables = append(tables, core.CampaignScenarios(128, *seed))
 	case "enginescaling":
 		tables = append(tables, core.EngineScaling([]int{1024, 4096, 16384, 65536}, 50, *seed))
 		tables = append(tables, core.VerifierScaling([]int{1024, 4096, 16384}, 20, *seed))

@@ -13,6 +13,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"ssmst"
 	"ssmst/internal/verify"
@@ -36,6 +37,7 @@ Examples:
   go run ./cmd/mstlab -n 64 -m 160 -seed 3            # quiet verification
   go run ./cmd/mstlab -n 64 -fault roots -async        # detect a §5 fault
   go run ./cmd/mstlab -n 64 -churn weight-break        # detect a live weight flip
+  go run ./cmd/mstlab -n 64 -corrupt 4                 # catch a 4-edit non-MST tree
   go run ./cmd/mstlab -selfstab -n 32 -churn add-light # rebuild after link churn
   go run ./cmd/mstlab -selfstab -n 32                  # full §10 stabilization
   go run ./cmd/mstlab -n 4096 -serial -fullrecheck     # reference step path
@@ -69,6 +71,13 @@ Run-mode flags:
               add-light (insert a link closing a lighter cycle). With
               -selfstab the transformer additionally rebuilds the MST of
               the mutated graph after an MST-breaking event
+  -corrupt k  label a k-edit corrupted spanning tree instead of the MST
+              (k random cycle edits, each swapping a lighter tree edge for
+              a heavier non-tree one) and let the verifier catch the tree
+              itself; the centralized T-lightness and cycle-property
+              oracles (internal/oracle) cross-check the verdict. k=0
+              labels the true MST and must stay silent. Mutually
+              exclusive with -fault/-churn/-selfstab
 
 Engine flags (the knobs BenchmarkEngineScaling measures):
 
@@ -90,6 +99,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	fault := flag.String("fault", "", "inject a fault: piecew|pieceid|roots|endp|spdist|sizen|component")
 	churn := flag.String("churn", "", "mutate the live topology: weight-keep|weight-break|cut|add-heavy|add-light")
+	corrupt := flag.Int("corrupt", -1, "label a k-edit corrupted spanning tree instead of the MST (-1: off; 0: the MST itself)")
 	async := flag.Bool("async", false, "asynchronous daemon")
 	selfstab := flag.Bool("selfstab", false, "run the self-stabilizing construction instead")
 	serial := flag.Bool("serial", false, "disable worker-pool fan-out for synchronous rounds")
@@ -112,6 +122,9 @@ func main() {
 	if *fault != "" && *churn != "" {
 		log.Fatal("-fault and -churn are mutually exclusive (one injected event per run)")
 	}
+	if *corrupt >= 0 && (*fault != "" || *churn != "" || *selfstab) {
+		log.Fatal("-corrupt is mutually exclusive with -fault/-churn/-selfstab (the corrupted tree is the fault)")
+	}
 	churnKind, churnOK := ssmst.ParseChurnKind(*churn)
 	if *churn != "" && !churnOK {
 		log.Fatalf("unknown churn kind %q", *churn)
@@ -124,6 +137,49 @@ func main() {
 	// Diameter is the O(n+m) double-sweep value: exact on trees, a lower
 	// bound (within 2×) on general graphs — hence the ≥ in the banner.
 	fmt.Printf("graph: n=%d m=%d Δ=%d diameter≥%d\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
+
+	if *corrupt >= 0 {
+		tree, err := ssmst.CorruptSpanningTree(g, *corrupt, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oracleStart := time.Now()
+		oracleMST, err := ssmst.OracleIsMST(g, tree)
+		if err != nil {
+			log.Fatal(err) // the two oracles disagreed — a checker bug
+		}
+		fmt.Printf("corrupted tree: %d cycle edits; oracles agree: MST=%v (cross-check %v)\n",
+			*corrupt, oracleMST, time.Since(oracleStart).Round(time.Microsecond))
+		labeled, err := ssmst.MarkTree(g, tree)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var v *ssmst.Verifier
+		switch {
+		case *clone:
+			v = ssmst.NewVerifierClonePath(labeled, mode, *seed)
+		case *fullRecheck:
+			v = ssmst.NewVerifierFullRecheck(labeled, mode, *seed)
+		default:
+			v = ssmst.NewVerifier(labeled, mode, *seed)
+		}
+		tune(v.Eng)
+		budget := ssmst.DetectionBudget(g.N())
+		if oracleMST {
+			if err := v.RunQuiet(budget); err != nil {
+				log.Fatalf("network disagrees with the oracles: %v", err)
+			}
+			fmt.Printf("verifier silent for %d rounds on the oracle-certified MST ✓\n", budget)
+			return
+		}
+		det, alarms, found := v.RunUntilAlarm(budget)
+		if !found {
+			log.Fatalf("network disagrees with the oracles: no alarm within the %d-round budget on an oracle-rejected tree", budget)
+		}
+		fmt.Printf("verifier caught the corrupted tree in %d rounds (budget %d), %d alarming nodes — matches the oracle verdict ✓\n",
+			det, budget, len(alarms))
+		return
+	}
 
 	if *selfstab {
 		var r *ssmst.SelfStabilizing

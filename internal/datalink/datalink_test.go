@@ -102,3 +102,66 @@ func TestSendBlocksUntilAck(t *testing.T) {
 		t.Fatal("send refused after ack")
 	}
 }
+
+// TestExhaustiveInitialStates enumerates every initial register content —
+// all 3 sender toggles × 3 receiver echoes × 2 busy flags (payload and Last
+// are data, not control, so two sentinel values stand in for all) — and
+// asserts the §2.2 contract exactly: one round-trip (receiver then sender
+// activation) makes the link coherent (echo == toggle, not busy, at most
+// one spurious garbage delivery), after which messages 1..5 arrive exactly
+// once, in order, with no further spurious arrivals.
+func TestExhaustiveInitialStates(t *testing.T) {
+	for tog := Toggle(0); tog < 3; tog++ {
+		for echo := Toggle(0); echo < 3; echo++ {
+			for _, busy := range []bool{false, true} {
+				l := Link{
+					S: SenderState{Payload: -7, Tog: tog, Busy: busy},
+					R: ReceiverState{Echo: echo, Last: -9},
+				}
+				// One round-trip flush.
+				_, spurious := l.StepReceiver()
+				l.StepSender()
+				if spurious != (echo != tog) {
+					t.Fatalf("tog=%d echo=%d busy=%v: flush delivery=%v, want %v",
+						tog, echo, busy, spurious, echo != tog)
+				}
+				if l.R.Echo != l.S.Tog {
+					t.Fatalf("tog=%d echo=%d busy=%v: echo %d != toggle %d after round-trip",
+						tog, echo, busy, l.R.Echo, l.S.Tog)
+				}
+				if l.S.Busy {
+					t.Fatalf("tog=%d echo=%d busy=%v: sender still busy after round-trip",
+						tog, echo, busy)
+				}
+				var got []int64
+				for m := int64(1); m <= 5; {
+					if l.Send(m) {
+						m++
+					} else {
+						t.Fatalf("tog=%d echo=%d busy=%v: send blocked on a coherent link",
+							tog, echo, busy)
+					}
+					if p, ok := l.StepReceiver(); ok {
+						got = append(got, p)
+					}
+					l.StepSender()
+				}
+				if len(got) != 5 {
+					t.Fatalf("tog=%d echo=%d busy=%v: delivered %d of 5 exactly-once messages",
+						tog, echo, busy, len(got))
+				}
+				for i, p := range got {
+					if p != int64(i+1) {
+						t.Fatalf("tog=%d echo=%d busy=%v: position %d delivered %d, want %d",
+							tog, echo, busy, i, p, i+1)
+					}
+				}
+				// A drained link delivers nothing more.
+				if p, ok := l.StepReceiver(); ok {
+					t.Fatalf("tog=%d echo=%d busy=%v: spurious delivery %d on drained link",
+						tog, echo, busy, p)
+				}
+			}
+		}
+	}
+}

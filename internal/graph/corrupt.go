@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CorruptedMSTGenerator produces k-edge-corrupted spanning trees of a fixed
+// graph by random cycle edits, the adversarial-instance construction of the
+// centralized MST-verification literature: preprocess the MST once, then
+// each edit picks a random non-tree edge, walks the tree cycle it closes,
+// and swaps a strictly lighter tree edge on that cycle for it. Every edit
+// keeps the edge set a spanning tree and strictly increases its total
+// weight, so for any k ≥ 1 the generated tree is certifiably *not* minimal
+// (under distinct weights) — calibrated ground truth for sweeping detection
+// latency over corruption density k.
+type CorruptedMSTGenerator struct {
+	g   *Graph
+	mst []int
+}
+
+// NewCorruptedMSTGenerator solves the MST of g once (Kruskal under the
+// natural distinct-weight order); Generate derives corrupted trees from it
+// without re-solving. Fails on disconnected graphs.
+func NewCorruptedMSTGenerator(g *Graph) (*CorruptedMSTGenerator, error) {
+	mst, err := Kruskal(g, ByWeight(g))
+	if err != nil {
+		return nil, fmt.Errorf("graph: corrupted-MST generator: %w", err)
+	}
+	return &CorruptedMSTGenerator{g: g, mst: mst}, nil
+}
+
+// MST returns the uncorrupted minimum spanning tree (corruption density 0).
+func (c *CorruptedMSTGenerator) MST() []int {
+	return append([]int(nil), c.mst...)
+}
+
+// Generate returns a spanning tree k random cycle edits away from the MST,
+// sorted ascending by edge index. The result is deterministic in (k, seed)
+// alone: every call derives a fresh rand stream from seed, so call order
+// cannot drift the output. It fails when the graph saturates before k edits
+// (no non-tree cycle has a strictly lighter tree edge left — e.g. a
+// tree-only graph for any k ≥ 1).
+func (c *CorruptedMSTGenerator) Generate(k int, seed int64) ([]int, error) {
+	g := c.g
+	rng := rand.New(rand.NewSource(seed))
+	inTree := make([]bool, g.M())
+	for _, e := range c.mst {
+		inTree[e] = true
+	}
+	parent := make([]int, g.N())
+	parentEdge := make([]int, g.N())
+	depth := make([]int, g.N())
+	for edit := 0; edit < k; edit++ {
+		treeBFS(g, inTree, parent, parentEdge, depth)
+		if !cycleEdit(g, rng, inTree, parent, parentEdge, depth) {
+			return nil, fmt.Errorf("graph: corrupted-MST generator saturated after %d of %d edits (no strictly lighter tree edge on any non-tree cycle)", edit, k)
+		}
+	}
+	out := make([]int, 0, g.N()-1)
+	for e := 0; e < g.M(); e++ {
+		if inTree[e] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// cycleEdit performs one random cycle edit: among the non-tree edges (in
+// random order) find one whose tree cycle carries a strictly lighter tree
+// edge, and swap a random such edge out for it. Reports false when no edit
+// is possible anywhere.
+func cycleEdit(g *Graph, rng *rand.Rand, inTree []bool, parent, parentEdge, depth []int) bool {
+	cands := make([]int, 0, g.M())
+	for e := 0; e < g.M(); e++ {
+		if !inTree[e] {
+			cands = append(cands, e)
+		}
+	}
+	var lighter []int
+	for _, i := range rng.Perm(len(cands)) {
+		e := cands[i]
+		ed := g.Edge(e)
+		lighter = lighter[:0]
+		// Walk both endpoints up to their LCA; the traversed tree edges are
+		// exactly the cycle e closes.
+		u, v := ed.U, ed.V
+		for u != v {
+			if depth[u] < depth[v] {
+				u, v = v, u
+			}
+			if pe := parentEdge[u]; pe >= 0 && g.Edge(pe).W < ed.W {
+				lighter = append(lighter, pe)
+			}
+			u = parent[u]
+		}
+		if len(lighter) == 0 {
+			continue
+		}
+		inTree[lighter[rng.Intn(len(lighter))]] = false
+		inTree[e] = true
+		return true
+	}
+	return false
+}
+
+// treeBFS fills parent/parentEdge/depth for the spanning tree given by the
+// inTree membership mask, rooted at node 0.
+func treeBFS(g *Graph, inTree []bool, parent, parentEdge, depth []int) {
+	adj := make([][]Half, g.N())
+	for e := range inTree {
+		if !inTree[e] {
+			continue
+		}
+		ed := g.Edge(e)
+		adj[ed.U] = append(adj[ed.U], Half{Peer: ed.V, Edge: e})
+		adj[ed.V] = append(adj[ed.V], Half{Peer: ed.U, Edge: e})
+	}
+	for i := range parent {
+		parent[i], parentEdge[i], depth[i] = -1, -1, 0
+	}
+	queue := make([]int, 0, g.N())
+	queue = append(queue, 0)
+	seen := make([]bool, g.N())
+	seen[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range adj[v] {
+			if !seen[h.Peer] {
+				seen[h.Peer] = true
+				parent[h.Peer] = v
+				parentEdge[h.Peer] = h.Edge
+				depth[h.Peer] = depth[v] + 1
+				queue = append(queue, h.Peer)
+			}
+		}
+	}
+}

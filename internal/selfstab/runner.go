@@ -273,6 +273,38 @@ func (r *Runner) ApplyChurn(kind verify.ChurnKind, rng *rand.Rand) (verify.Churn
 // see runtime.Engine.ResyncTopology.
 func (r *Runner) ResyncTopology() bool { return r.Eng.ResyncTopology() }
 
+// ApplyRegionalOutage corrupts the installed verifier state of every
+// check-phase node in the BFS ball of the given radius around a random
+// center — the transformer-side correlated regional-failure scenario. Each
+// victim receives a static-layer fault from the verify menu (no-op kinds
+// are skipped in favour of the next). The check phase must detect the
+// corruption and re-stabilize by rebuilding the MST. Deterministic in
+// (engine state, seed); returns the center and the corrupted nodes.
+func (r *Runner) ApplyRegionalOutage(radius int, seed int64) (center int, victims []int) {
+	rng := rand.New(rand.NewSource(verify.SubSeed(seed, int64(radius))))
+	g := r.Eng.G()
+	center = rng.Intn(g.N())
+	dist := g.BFSDistances(center)
+	kinds := verify.StaticFaultKinds()
+	for v := 0; v < g.N(); v++ {
+		if dist[v] < 0 || dist[v] > radius {
+			continue
+		}
+		start := rng.Intn(len(kinds))
+		for i := range kinds {
+			kind := kinds[(start+i)%len(kinds)]
+			deg := g.Degree(v)
+			if r.InjectCheckFault(v, func(c *verify.VState) bool {
+				return verify.ApplyFault(c, kind, rng, deg)
+			}) {
+				victims = append(victims, v)
+				break
+			}
+		}
+	}
+	return center, victims
+}
+
 // InjectLabelFault corrupts a node's verifier state post-stabilization.
 func (r *Runner) InjectLabelFault(v int, rng *rand.Rand) bool {
 	return r.InjectCheckFault(v, func(c *verify.VState) bool {

@@ -150,12 +150,21 @@ const NumFaultKinds = int(numFaultKinds)
 
 // InjectKind applies the given fault kind at node v, using rng for the
 // specifics. It reports whether the fault actually changed something.
+//
+// The injection is clone-apply-commit: the fault mutates a clone and is
+// committed through SetState only when it changed something. A no-op kind
+// (no stored piece to corrupt, an empty Roots string) must leave the engine
+// completely untouched — committing it anyway would bump the victim's dirty
+// epoch and invalidate its memos, forcing a re-check that masks exactly the
+// memo-invalidation bugs the incremental/full-recheck parity suites exist
+// to catch.
 func (r *Runner) InjectKind(v int, kind FaultKind, rng *rand.Rand) bool {
-	changed := false
-	r.Inject(v, func(s *VState) {
-		changed = ApplyFault(s, kind, rng, len(r.Labeled.G.Ports(v)))
-	})
-	return changed
+	s := r.Eng.State(v).Clone().(*VState)
+	if !ApplyFault(s, kind, rng, len(r.Labeled.G.Ports(v))) {
+		return false
+	}
+	r.Eng.SetState(v, s)
+	return true
 }
 
 // ApplyFault mutates a verifier state with the given fault kind — the
@@ -164,14 +173,23 @@ func (r *Runner) InjectKind(v int, kind FaultKind, rng *rand.Rand) bool {
 // degree is the node's degree (used by FaultComponent). It reports whether
 // the state actually changed.
 //
-// Every simulator-side memo the state carries (static verdict, cached label
-// BitSize, claimed-level list) is dropped up front: most fault kinds rewrite
-// the very labels those caches measure, and a stale cache would let e.g.
-// MaxStateBits keep reporting bits the corruption removed. Engine-level
-// injection (SetState/Corrupt) invalidates again — this call covers direct
-// uses of ApplyFault on states held outside an engine.
+// On a change, every simulator-side memo the state carries (static verdict,
+// cached label BitSize, claimed-level list) is dropped: most fault kinds
+// rewrite the very labels those caches measure, and a stale cache would let
+// e.g. MaxStateBits keep reporting bits the corruption removed. A no-op
+// kind leaves the memos — and everything else — untouched, so callers can
+// trust changed=false to mean "the state is bit-identical to before".
+// Engine-level injection (SetState/Corrupt) invalidates again — the drop
+// here covers direct uses of ApplyFault on states held outside an engine.
 func ApplyFault(s *VState, kind FaultKind, rng *rand.Rand, degree int) bool {
+	if !applyFaultKind(s, kind, rng, degree) {
+		return false
+	}
 	s.InvalidateMemo()
+	return true
+}
+
+func applyFaultKind(s *VState, kind FaultKind, rng *rand.Rand, degree int) bool {
 	switch kind {
 	case FaultStoredPieceW:
 		// Prefer bottom pieces: every bottom-stored piece's fragment is

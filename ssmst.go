@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"ssmst/internal/graph"
+	"ssmst/internal/oracle"
 	"ssmst/internal/runtime"
 	"ssmst/internal/selfstab"
 	"ssmst/internal/syncmst"
@@ -229,3 +230,25 @@ func NormalizeWeights(g *Graph, candidate []int) *Graph {
 
 // DetectionBudget bounds the detection time of Theorem 8.5 for n nodes.
 func DetectionBudget(n int) int { return verify.DetectionBudget(n) }
+
+// CorruptSpanningTree returns the spanning tree obtained from g's MST by k
+// random cycle edits, each swapping a strictly lighter tree edge for a
+// heavier non-tree edge on its cycle — so for k ≥ 1 (under distinct
+// weights) the result is certifiably non-minimal. Deterministic in
+// (k, seed); errors when the graph has no cycle left to edit (adversarial
+// instance generation for the fault-campaign experiments).
+func CorruptSpanningTree(g *Graph, k int, seed int64) ([]int, error) {
+	gen, err := graph.NewCorruptedMSTGenerator(g)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Generate(k, seed)
+}
+
+// OracleIsMST is the centralized ground truth the distributed verdicts are
+// cross-checked against: it runs both the DFS T-lightness oracle and the
+// Union-Find cycle-property oracle (internal/oracle) and errors if the two
+// independent checkers ever disagree.
+func OracleIsMST(g *Graph, treeEdges []int) (bool, error) {
+	return oracle.CrossCheck(g, treeEdges, graph.ByWeight(g))
+}
