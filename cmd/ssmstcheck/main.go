@@ -1,0 +1,108 @@
+// Command ssmstcheck runs the ssmst invariant analyzers (hotpathalloc,
+// memocontract, determinism, bitsizeaudit) over the module and exits
+// non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/ssmstcheck ./...            # whole module (CI invocation)
+//	go run ./cmd/ssmstcheck ./internal/verify
+//	go run ./cmd/ssmstcheck -a bitsizeaudit ./...
+//
+// The driver is self-contained on the standard library (see
+// internal/analysis): it is not a `go vet -vettool` plugin because the
+// vet plugin protocol lives in golang.org/x/tools, and this module keeps
+// zero external dependencies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ssmst/internal/analysis"
+)
+
+func main() {
+	var only string
+	flag.StringVar(&only, "a", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ssmstcheck [-a analyzers] [./... | packages...]\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ssmstcheck: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmstcheck:", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := load(loader, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmstcheck:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers, analysis.DefaultConfig())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ssmstcheck: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// load resolves the command-line package patterns. "./..." (or no
+// arguments) loads the whole module; "./dir" loads one directory.
+func load(l *analysis.Loader, args []string) ([]*analysis.Package, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			all, err := l.LoadModule()
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, all...)
+			continue
+		}
+		dir, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("package %s is outside module %s", arg, l.ModulePath)
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

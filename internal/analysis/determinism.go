@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the replayability contract of the stepping packages
+// (Config.DeterminismPaths): every run is a pure function of (graph, seed,
+// fault schedule), parallel and serial stepping are bit-identical, and
+// campaign replays reproduce byte-for-byte. Inside those packages it
+// forbids:
+//
+//   - map iteration (Go randomizes range order; even order-insensitive
+//     uses need an //ssmst:allow determinism with the argument why)
+//   - the global math/rand source (rand.Intn, rand.Int63, ...): all
+//     randomness must flow from explicitly seeded *rand.Rand values;
+//     constructors (rand.New, rand.NewSource, rand.NewZipf) are how those
+//     are built and stay allowed
+//   - wall-clock reads (time.Now, time.Since): round time is logical
+//   - declaring *runtime.View in struct fields or package vars: the
+//     engine re-aims one View per (node, round), so a retained pointer
+//     observes a different node after the next step. Adapter structs that
+//     re-aim the view every step carry //ssmst:allow determinism.
+//
+// Measurement and driver code (internal/core, cmd/...) is exempt by not
+// being listed in Config.DeterminismPaths.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "stepping packages must be seed-deterministic: no map ranges, global rand, wall clock, or retained Views",
+	Run:  runDeterminism,
+}
+
+// globalRandAllowed lists math/rand package-level functions that do not
+// touch the global source.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !pass.Config.DeterminismApplies(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isMap(pass.typeOf(n.X)) {
+					pass.Reportf(n.Pos(), "map iteration in a stepping package: range order is randomized per run")
+				}
+			case *ast.CallExpr:
+				pass.checkDeterministicCall(n)
+			case *ast.StructType:
+				for _, f := range n.Fields.List {
+					if pass.isRuntimeView(f.Type) {
+						pass.Reportf(f.Pos(), "struct field retains *runtime.View across steps: the engine re-aims Views per (node, round)")
+					}
+				}
+			case *ast.GenDecl:
+				pass.checkPackageVars(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDeterministicCall flags global-rand and wall-clock calls.
+func (p *Pass) checkDeterministicCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := p.TypesInfo.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are the sanctioned path
+	}
+	switch obj.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !globalRandAllowed[fn.Name()] {
+			p.Reportf(call.Pos(), "global math/rand.%s in a stepping package: use the explicitly seeded *rand.Rand plumbed through the engine", fn.Name())
+		}
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			p.Reportf(call.Pos(), "wall-clock time.%s in a stepping package: round time is logical, wall time breaks replay", fn.Name())
+		}
+	}
+}
+
+// checkPackageVars flags package-level vars of type *runtime.View.
+func (p *Pass) checkPackageVars(decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := p.TypesInfo.Defs[name].(*types.Var)
+			if !ok || !obj.IsField() && obj.Parent() != p.Pkg.Scope() {
+				continue
+			}
+			if isRuntimeViewType(obj.Type()) {
+				p.Reportf(name.Pos(), "package-level *runtime.View: Views are per-(node, round) and must not outlive a step")
+			}
+		}
+	}
+}
+
+// isRuntimeView reports whether a field's declared type is (a pointer to)
+// runtime.View.
+func (p *Pass) isRuntimeView(e ast.Expr) bool {
+	return isRuntimeViewType(p.typeOf(e))
+}
+
+func isRuntimeViewType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "View" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "runtime" || strings.HasSuffix(path, "/runtime")
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation regexp from a `// want "re"` comment.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// runFixture loads the fixture module under testdata/src/<name>, runs the
+// analyzers over it, and checks the findings against the fixture's
+// `// want "regexp"` comments: every finding must match a want on its
+// line, and every want must be matched by at least one finding.
+func runFixture(t *testing.T, name string, analyzers []*Analyzer, cfg Config) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+		line    int
+		file    string
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, g := range f.Comments {
+				for _, c := range g.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{re: re, line: pos.Line, file: pos.Filename})
+				}
+			}
+		}
+	}
+
+	diags := Run(pkgs, analyzers, cfg)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	runFixture(t, "hotpathalloc", []*Analyzer{HotPathAlloc}, DefaultConfig())
+}
+
+func TestMemoContractFixture(t *testing.T) {
+	runFixture(t, "memocontract", []*Analyzer{MemoContract}, DefaultConfig())
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, "determinism", []*Analyzer{Determinism}, Config{
+		DeterminismPaths: []string{"step"},
+	})
+}
+
+func TestBitSizeAuditFixture(t *testing.T) {
+	runFixture(t, "bitsizeaudit", []*Analyzer{BitSizeAudit}, DefaultConfig())
+}
+
+// TestByName pins the analyzer registry: every analyzer resolves by its
+// name, unknown names resolve to nil.
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the %s analyzer", a.Name, a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}
+
+// TestDeterminismConfigScope pins the suffix matching of DeterminismApplies.
+func TestDeterminismConfigScope(t *testing.T) {
+	cfg := DefaultConfig()
+	for path, want := range map[string]bool{
+		"ssmst/internal/verify":  true,
+		"ssmst/internal/runtime": true,
+		"ssmst/internal/core":    false,
+		"ssmst/cmd/mstlab":       false,
+		"internal/runtime":       true,
+	} {
+		if got := cfg.DeterminismApplies(path); got != want {
+			t.Errorf("DeterminismApplies(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestDirectiveParsing pins the annotation comment grammar.
+func TestDirectiveParsing(t *testing.T) {
+	for _, tc := range []struct {
+		text, name, arg string
+	}{
+		{"//ssmst:hotpath", "hotpath", ""},
+		{"//ssmst:allow determinism", "allow", "determinism"},
+		{"//ssmst:allow determinism -- reason here", "allow", "determinism"},
+		{"//ssmst:nobits -- cache", "nobits", ""},
+		{"// ordinary comment", "", ""},
+		{"//ssmst:", "", ""},
+	} {
+		name, arg := parseDirective(tc.text)
+		if name != tc.name || arg != tc.arg {
+			t.Errorf("parseDirective(%q) = (%q, %q), want (%q, %q)", tc.text, name, arg, tc.name, tc.arg)
+		}
+	}
+	if !strings.HasPrefix(directivePrefix, "//") {
+		t.Fatal("directive prefix must be a line comment")
+	}
+}

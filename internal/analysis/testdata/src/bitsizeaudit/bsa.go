@@ -1,0 +1,48 @@
+// Package bsa is the bitsizeaudit fixture: BitSize methods that account
+// for every field, miss one, or exempt simulator-side caches.
+package bsa
+
+func width(int64) int { return 8 }
+func flag(bool) int   { return 1 }
+
+// Good reads every counted field; cache is an exempted memo.
+type Good struct {
+	A     int64
+	B     bool
+	cache int //ssmst:nobits -- recomputable memo, fixture
+}
+
+func (g *Good) BitSize() int { return width(g.A) + flag(g.B) }
+
+// Bad misses a field.
+type Bad struct {
+	A int64
+	B bool
+}
+
+func (b *Bad) BitSize() int { return width(b.A) } // want "does not read field B"
+
+// Inner is an embeddable sized component.
+type Inner struct{ V int64 }
+
+// BitSize reads the single field.
+func (i Inner) BitSize() int { return width(i.V) }
+
+// Outer delegates the embedded block to its own BitSize: clean.
+type Outer struct {
+	Inner
+	W int64
+}
+
+func (o *Outer) BitSize() int { return o.Inner.BitSize() + width(o.W) }
+
+// OuterBad ignores the embedded block.
+type OuterBad struct {
+	Inner
+	W int64
+}
+
+func (o *OuterBad) BitSize() int { return width(o.W) } // want "embedded"
+
+// NoMethod has no BitSize and owes nothing.
+type NoMethod struct{ X int }

@@ -1,0 +1,3 @@
+module bsa
+
+go 1.21

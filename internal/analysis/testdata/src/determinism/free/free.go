@@ -1,0 +1,15 @@
+// Package free is not listed in DeterminismPaths: measurement code may use
+// the wall clock and global rand freely.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed times a draw from the global source without findings.
+func Elapsed() time.Duration {
+	start := time.Now()
+	_ = rand.Intn(6)
+	return time.Since(start)
+}

@@ -1,0 +1,3 @@
+module det
+
+go 1.21

@@ -1,0 +1,9 @@
+// Package runtime mimics the engine package shape: the determinism
+// analyzer recognizes View by name and package-path suffix.
+package runtime
+
+// View is the per-(node, round) window, as in the real engine.
+type View struct{ node int }
+
+// ID returns the viewed node.
+func (v *View) ID() int { return v.node }

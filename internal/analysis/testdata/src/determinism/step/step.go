@@ -1,0 +1,42 @@
+// Package step is the determinism fixture's covered stepping package
+// (listed in the test's Config.DeterminismPaths).
+package step
+
+import (
+	"math/rand"
+	"time"
+
+	"det/runtime"
+)
+
+type keeper struct {
+	v *runtime.View // want "retains"
+}
+
+var global *runtime.View // want "package-level"
+
+func roll(m map[int]int) int {
+	t := 0
+	for k := range m { // want "map iteration"
+		t += k
+	}
+	t += rand.Intn(6)                // want "global math/rand"
+	t += int(time.Now().Unix())      // want "wall-clock"
+	r := rand.New(rand.NewSource(1)) // seeded source: the sanctioned path
+	return t + r.Intn(6)
+}
+
+// prune demonstrates line-level suppression of an order-invariant range.
+func prune(m map[int]bool) {
+	//ssmst:allow determinism -- fixture: order-invariant deletion
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// borrow uses a View without retaining it: clean.
+func borrow(v *runtime.View, k keeper) int {
+	_ = global
+	_ = k
+	return v.ID()
+}

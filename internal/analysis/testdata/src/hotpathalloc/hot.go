@@ -1,0 +1,59 @@
+// Package hot is the hotpathalloc fixture: one annotated function per
+// allocating construct, plus clean cases proving the allowed idioms and
+// unannotated code stay silent.
+package hot
+
+type point struct{ x, y int }
+
+type sink struct{ fn func() int }
+
+func consume(any) {}
+
+func apply(f func() int) int { return f() }
+
+//ssmst:hotpath
+func flagged(buf []int, m map[int]int, s string, k sink) []int {
+	tmp := make([]int, 4) // want "make in hot path"
+	p := new(point)       // want "new in hot path"
+	_ = p
+	other := tmp
+	other = append(buf, 1) // want "self-append"
+	_ = other
+	_ = m[3]      // want "map access in hot path"
+	delete(m, 3)  // want "map delete in hot path"
+	for range m { // want "map iteration in hot path"
+	}
+	bs := []byte(s) // want "conversion in hot path"
+	_ = bs
+	lits := []int{1, 2} // want "slice literal in hot path"
+	_ = lits
+	pp := &point{1, 2} // want "composite literal in hot path"
+	_ = pp
+	consume(42)                        // want "interface boxing"
+	k.fn = func() int { return 1 }     // want "escaping func literal"
+	_ = apply(func() int { return 2 }) // want "escaping func literal"
+	defer clear(m)                     // want "defer in hot path"
+	go flaggedHelper()                 // want "go statement in hot path"
+	return buf
+}
+
+func flaggedHelper() {}
+
+//ssmst:hotpath
+func clean(buf []int, p *point, st point) []int {
+	buf = append(buf, 1)            // self-append reuses the backing array
+	buf = append(buf[:0], 2)        // reslice-reset form of the same idiom
+	*p = point{3, 4}                // value composite stores into existing memory
+	consume(p)                      // pointers are not boxed
+	f := func() int { return st.x } // locally bound closure
+	_ = f()
+	_ = func() int { return 5 }() // immediately invoked
+	cold := make([]int, 8)        //ssmst:allow hotpathalloc -- fixture: demonstrating line suppression
+	_ = cold
+	return buf
+}
+
+// unannotated allocates freely without findings.
+func unannotated() []int {
+	return make([]int, 16)
+}

@@ -1,0 +1,3 @@
+module memo
+
+go 1.21

@@ -1,0 +1,82 @@
+// Package memo is the memocontract fixture: memo-carrying types with good
+// and bad Clones, and tracked-field writes with and without invalidation.
+package memo
+
+// State is memo-carrying: it has InvalidateMemo.
+type State struct {
+	//ssmst:tracked
+	Label int
+	memo  bool
+}
+
+func (s *State) InvalidateMemo() { s.memo = false }
+
+// Clone drops memos directly: clean.
+func (s *State) Clone() *State {
+	c := *s
+	c.InvalidateMemo()
+	return &c
+}
+
+// Bad is memo-carrying but its Clone keeps the memo.
+type Bad struct{ memo bool }
+
+func (b *Bad) InvalidateMemo() { b.memo = false }
+
+func (b *Bad) Clone() *Bad { // want "Clone on memo-carrying type Bad"
+	c := *b
+	return &c
+}
+
+// Wrap is memo-carrying and delegates memo-dropping to the inner Clone.
+type Wrap struct{ Inner *State }
+
+func (w *Wrap) InvalidateMemo() { w.Inner.InvalidateMemo() }
+
+func (w *Wrap) Clone() *Wrap {
+	c := *w
+	c.Inner = w.Inner.Clone()
+	return &c
+}
+
+// Plain carries no memo; its Clone owes nothing.
+type Plain struct{ V int }
+
+func (p *Plain) Clone() *Plain { c := *p; return &c }
+
+// setPaired writes a tracked field and invalidates: clean.
+func setPaired(s *State, v int) {
+	s.Label = v
+	s.InvalidateMemo()
+}
+
+// setMarked pairs through a change-tracking mark instead: clean.
+func setMarked(s *State, t interface{ MarkChanged() }, v int) {
+	s.Label = v
+	t.MarkChanged()
+}
+
+func setUnpaired(s *State, v int) {
+	s.Label = v // want "write to tracked field Label"
+}
+
+func bumpUnpaired(s *State) {
+	s.Label++ // want "write to tracked field Label"
+}
+
+// setSafe's callers own the invalidation pairing.
+//
+//ssmst:memosafe
+func setSafe(s *State, v int) {
+	s.Label = v
+}
+
+// Set is a method on the memo-carrying type itself: exempt.
+func (s *State) Set(v int) {
+	s.Label = v
+}
+
+// readOnly reads tracked state without writing: clean.
+func readOnly(s *State) int {
+	return s.Label
+}

@@ -56,6 +56,12 @@ func ForEnum(k int) int {
 // ForBool is the width of a boolean flag.
 const ForBool = 1
 
+// Flag is the width of one boolean flag field. It inlines to the constant
+// ForBool; taking the field as an argument ties each counted bit to a read
+// of the field it pays for, which is what the bitsizeaudit analyzer in
+// internal/analysis cross-references against the struct declaration.
+func Flag(bool) int { return ForBool }
+
 // ForString returns the width of a fixed-alphabet string of length n over an
 // alphabet of k symbols, as used by the Roots/EndP/Parents strings of §5.
 func ForString(n, k int) int {

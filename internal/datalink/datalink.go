@@ -20,6 +20,9 @@ type Toggle uint8
 // next returns the successor toggle (mod 3).
 func (t Toggle) next() Toggle { return (t + 1) % 3 }
 
+// BitSize is the encoded width of a three-valued toggle.
+func (t Toggle) BitSize() int { return bits.ForEnum(3) }
+
 // SenderState is the sender's register: the published payload and toggle.
 type SenderState struct {
 	Payload int64
@@ -29,7 +32,9 @@ type SenderState struct {
 }
 
 // BitSize measures the register.
-func (s *SenderState) BitSize() int { return bits.ForInt(s.Payload) + 2 + 1 }
+func (s *SenderState) BitSize() int {
+	return bits.ForInt(s.Payload) + s.Tog.BitSize() + bits.Flag(s.Busy)
+}
 
 // ReceiverState is the receiver's register: the echoed toggle.
 type ReceiverState struct {
@@ -39,7 +44,7 @@ type ReceiverState struct {
 }
 
 // BitSize measures the register.
-func (r *ReceiverState) BitSize() int { return 2 + bits.ForInt(r.Last) }
+func (r *ReceiverState) BitSize() int { return r.Echo.BitSize() + bits.ForInt(r.Last) }
 
 // Link is one directed self-stabilizing link.
 type Link struct {

@@ -211,6 +211,8 @@ func (v *View) Neighbour(port int) State {
 // at the round boundary, so parallel and serial stepping observe identical
 // dirty epochs), immediately under the asynchronous daemon (which reads
 // current states). SetState and Corrupt mark the node implicitly.
+//
+//ssmst:hotpath
 func (v *View) MarkChanged() {
 	e := v.engine
 	if e.inSyncStep {
@@ -230,6 +232,8 @@ func (v *View) MarkChanged() {
 // The scan is O(degree) over the flat dirty-epoch array, with an O(1)
 // global high-water fast path that short-circuits the common all-quiet
 // case.
+//
+//ssmst:hotpath
 func (v *View) NeighbourhoodChangedSince(epoch int64) bool {
 	e := v.engine
 	if e.maxDirty <= epoch {
@@ -374,6 +378,7 @@ type Engine struct {
 	pendingDirty []int32
 	inSyncStep   bool
 
+	//ssmst:allow determinism -- the engine owns the View lifecycle; this one is re-aimed before every use
 	view  View  // reusable View for serial stepping, Init, and async
 	order []int // reusable activation-order buffer for StepAsync
 
@@ -460,6 +465,8 @@ func (e *Engine) SetState(v int, s State) {
 }
 
 // bumpDirty raises node v's dirty epoch (monotone max).
+//
+//ssmst:hotpath
 func (e *Engine) bumpDirty(v int, epoch int64) {
 	if epoch > e.dirty[v] {
 		e.dirty[v] = epoch
@@ -472,6 +479,8 @@ func (e *Engine) bumpDirty(v int, epoch int64) {
 // flushMarks drains a View's in-round dirty marks into the engine's commit
 // list. Parallel rounds call it under the reduction mutex; the serial round
 // calls it directly.
+//
+//ssmst:hotpath
 func (e *Engine) flushMarks(v *View) {
 	if len(v.pending) == 0 {
 		return
@@ -483,6 +492,8 @@ func (e *Engine) flushMarks(v *View) {
 // commitMarks publishes the round's buffered dirty marks; called after the
 // round counter has advanced, so the marks carry the epoch at which the
 // newly written states became visible.
+//
+//ssmst:hotpath
 func (e *Engine) commitMarks() {
 	if len(e.pendingDirty) == 0 {
 		return
@@ -652,6 +663,8 @@ func (e *Engine) noteState(v int) {
 // stepNode computes node i's next state into stepNext, refreshes its
 // instrumentation flags, and returns its (bits, alarm, done) contribution
 // for the caller's partial reduction.
+//
+//ssmst:hotpath
 func (e *Engine) stepNode(v *View, i int) (bitSize int, alarm, done bool) {
 	v.node = i
 	v.rngOK = false
@@ -874,6 +887,8 @@ func (e *Engine) Step(async bool) {
 
 // AnyAlarm reports whether any node currently raises an alarm, and the index
 // of the first such node (-1 if none). The no-alarm case is O(1).
+//
+//ssmst:hotpath
 func (e *Engine) AnyAlarm() (int, bool) {
 	if e.alarmCount == 0 {
 		return -1, false
@@ -901,6 +916,8 @@ func (e *Engine) AlarmNodes() []int {
 // caller-buffer variant of AlarmNodes, allocation-free once buf has grown
 // to the alarm population, so per-round polling stays on the engine's
 // zero-alloc path. The no-alarm case is O(1).
+//
+//ssmst:hotpath
 func (e *Engine) AppendAlarmNodes(buf []int) []int {
 	if e.alarmCount == 0 {
 		return buf

@@ -60,10 +60,15 @@ func (p Phase) String() string {
 	return [...]string{"resync", "build", "label", "check"}[p]
 }
 
+// BitSize is the encoded width of the four-valued phase.
+func (p Phase) BitSize() int { return bits.ForEnum(4) }
+
 // SState is the composite per-node state of the transformer.
 type SState struct {
-	MyID  graph.NodeID
+	MyID graph.NodeID
+	//ssmst:tracked -- the embedded verifier's memo freshness depends on epoch adoption being marked
 	Epoch int64
+	//ssmst:tracked -- phase transitions change what the check phase reads
 	Phase Phase
 	Pulse int // synchronizer pulse within the current phase
 
@@ -106,7 +111,7 @@ func (s *SState) BitSize() int {
 	return bits.Sum(
 		bits.ForInt(int64(s.MyID)),
 		bits.ForInt(s.Epoch),
-		2,
+		s.Phase.BitSize(),
 		bits.ForInt(int64(s.Pulse)),
 		sub,
 	)
@@ -261,10 +266,12 @@ func (m *Machine) Step(v *runtime.View) runtime.State {
 // Build/BuildPrev/Check sub-states, so the steady-state round loop
 // allocates only at phase transitions (and nothing at all once a phase is
 // entered).
+//
+//ssmst:hotpath
 func (m *Machine) StepInPlace(v *runtime.View, scratch runtime.State) runtime.State {
 	dst, ok := scratch.(*SState)
 	if !ok || dst == nil {
-		dst = new(SState)
+		dst = new(SState) //ssmst:allow hotpathalloc -- cold fallback: first round only, before the engine owns a recycled slot
 	}
 	return m.stepInto(v, dst, m.scratchOf(v))
 }
@@ -272,6 +279,8 @@ func (m *Machine) StepInPlace(v *runtime.View, scratch runtime.State) runtime.St
 // stepInto computes the transformer's next state for one node into dst.
 // dst's sub-state memory is recycled; the result never aliases v.Self(),
 // any neighbour state, or anything else reachable from the View.
+//
+//ssmst:hotpath
 func (m *Machine) stepInto(v *runtime.View, dst *SState, sc *machScratch) runtime.State {
 	old := v.Self().(*SState)
 	// Salvage dst's recyclable sub-state memory before the header copy.
@@ -347,7 +356,7 @@ func (m *Machine) stepInto(v *runtime.View, dst *SState, sc *machScratch) runtim
 			// block once and allocates nothing at steady state.
 			spare := b2
 			if spare == nil {
-				spare = new(syncmst.State)
+				spare = new(syncmst.State) //ssmst:allow hotpathalloc -- cold: once per node per epoch, when the build slot is first populated
 			}
 			next := syncmst.StepCoreInto(spare, &sc.bv)
 			s.BuildPrev = s.Build
@@ -386,7 +395,7 @@ func (m *Machine) stepInto(v *runtime.View, dst *SState, sc *machScratch) runtim
 		}
 		vdst := ck
 		if vdst == nil {
-			vdst = new(verify.VState)
+			vdst = new(verify.VState) //ssmst:allow hotpathalloc -- cold: once per node per epoch, on check-phase entry
 		}
 		sc.cv.v, sc.cv.s, sc.cv.self = v, s, self
 		s.Check = m.verifier.StepInto(vdst, &sc.cv, &sc.vsc)
@@ -478,6 +487,7 @@ func (m *Machine) oracle(epoch int64) *verify.Labeled {
 		}
 	}
 	// Memoize (nil = poison); keep the map small.
+	//ssmst:allow determinism -- order-invariant pruning: every key below the threshold is deleted
 	for e := range m.marked {
 		if e < epoch-2 {
 			delete(m.marked, e)
@@ -498,6 +508,7 @@ func poisonState(id graph.NodeID) *verify.VState {
 // advanced past this node's pulse exposes its previous-pulse slot — the
 // state the node would have read in a synchronous execution.
 type buildView struct {
+	//ssmst:allow determinism -- per-step adapter built fresh in stepInto; never outlives the step
 	v     *runtime.View
 	s     *SState
 	round int
@@ -539,6 +550,7 @@ func (b *buildView) Neighbour(port int) *syncmst.State {
 // SetState, so the embedded verifier's memoized static verdict stays exactly
 // as fresh as in a standalone run.
 type checkView struct {
+	//ssmst:allow determinism -- per-step adapter built fresh in stepInto; never outlives the step
 	v    *runtime.View
 	s    *SState
 	self *verify.VState

@@ -90,22 +90,22 @@ func (s *State) BitSize() int {
 		bits.ForInt(int64(s.ParentID)),
 		bits.ForInt(int64(s.RootID)),
 		bits.ForInt(int64(s.Level)),
-		bits.ForBool, // Finished
+		bits.Flag(s.Finished),
 		bits.ForInt(int64(s.Phase)),
-		bits.ForBool, // CntWave
+		bits.Flag(s.CntWave),
 		bits.ForInt(int64(s.CntTTL)),
 		bits.ForInt(int64(s.CntEcho)),
-		bits.ForBool, // Active
-		bits.ForBool, // FindWave
-		bits.ForBool, // Examined
+		bits.Flag(s.Active),
+		bits.Flag(s.FindWave),
+		bits.Flag(s.Examined),
 		weightBits(s.OwnBestW),
 		bits.ForInt(int64(s.OwnBestPort)),
-		bits.ForBool, // FindEchoed
+		bits.Flag(s.FindEchoed),
 		weightBits(s.BestW),
 		bits.ForInt(int64(s.BestPort)),
 		bits.ForInt(int64(s.BestChildID)),
 		bits.ForInt(int64(s.CRTargetID)),
-		bits.ForBool, // CRDone
+		bits.Flag(s.CRDone),
 		bits.ForInt(int64(s.ProposePort)),
 	)
 }
@@ -165,6 +165,8 @@ func NewState(id graph.NodeID) *State {
 func (Machine) Init(v *runtime.View) runtime.State { return NewState(v.ID()) }
 
 // runtimeView adapts runtime.View to NodeView.
+//
+//ssmst:allow determinism -- stack-allocated per step call; never outlives the step
 type runtimeView struct{ v *runtime.View }
 
 func (a runtimeView) ID() graph.NodeID             { return a.v.ID() }
@@ -186,11 +188,14 @@ func (Machine) Step(v *runtime.View) runtime.State { return StepCore(runtimeView
 // StepInPlace implements runtime.InPlaceStepper: State is a flat value
 // (no reference fields), so the next state is computed straight into the
 // recycled slot and the steady-state round loop allocates nothing.
+//
+//ssmst:hotpath
 func (Machine) StepInPlace(v *runtime.View, scratch runtime.State) runtime.State {
 	dst, ok := scratch.(*State)
 	if !ok || dst == nil {
-		dst = new(State)
+		dst = new(State) //ssmst:allow hotpathalloc -- cold fallback: first round only, before the engine owns a recycled slot
 	}
+	//ssmst:allow hotpathalloc -- the adapter does not escape StepCoreInto; the runtime alloc gate pins this at 0 allocs
 	return StepCoreInto(dst, runtimeView{v})
 }
 
@@ -200,6 +205,8 @@ func StepCore(v NodeView) *State { return StepCoreInto(new(State), v) }
 // StepCoreInto is StepCore writing into recycled memory: dst receives a
 // value copy of v.Self() and is stepped in place. dst must not alias
 // v.Self() or any neighbour state.
+//
+//ssmst:hotpath
 func StepCoreInto(dst *State, v NodeView) *State {
 	s := dst
 	*s = *v.Self()

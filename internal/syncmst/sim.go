@@ -168,6 +168,7 @@ func Simulate(g *graph.Graph) (*Result, error) {
 		}
 		newComp := make([]*component, len(comp))
 		copy(newComp, comp)
+		//ssmst:allow determinism -- groups are disjoint and each is processed independently; the merge result is order-invariant
 		for rootCi, members := range groups {
 			if len(members) == 1 {
 				continue

@@ -90,6 +90,8 @@ func (l *Labels) Clone() *Labels {
 // zero-length Stored — nil or empty — copies to nil, exactly what Clone's
 // append([]hierarchy.Piece(nil), ...) produces, so the two paths stay
 // DeepEqual even for injected states holding empty non-nil slices.
+//
+//ssmst:hotpath
 func (l *Labels) CopyFrom(src *Labels) {
 	stored := l.Stored[:0]
 	*l = *src
@@ -97,6 +99,7 @@ func (l *Labels) CopyFrom(src *Labels) {
 		l.Stored = nil
 		return
 	}
+	//ssmst:allow hotpathalloc -- appends into the receiver's own Stored buffer saved across the struct copy; grows only when the label shape grows
 	l.Stored = append(stored, src.Stored...)
 }
 
@@ -121,6 +124,8 @@ func (nl *NodeLabels) Clone() *NodeLabels {
 
 // CopyFrom makes nl a deep copy of src, reusing both trains' Stored
 // capacity.
+//
+//ssmst:hotpath
 func (nl *NodeLabels) CopyFrom(src *NodeLabels) {
 	nl.Top.CopyFrom(&src.Top)
 	nl.Bottom.CopyFrom(&src.Bottom)

@@ -52,10 +52,12 @@ type State struct {
 // cycle-set check block) when the verifier's AlarmCode under-count was
 // fixed. Written as a straight sum — the engine re-measures every node
 // every round, and the variadic bits.Sum form spilled its argument slice to
-// the stack on the hot path. The leading 7 counts the seven boolean flags
-// (Up.Valid, Down.Valid, Down.Flag, Reset, ResetAck, CovValid, Alarm).
+// the stack on the hot path. Each boolean is counted through bits.Flag
+// (inlined to 1) so the bitsizeaudit analyzer can tie every bit to the
+// field it pays for.
 func (s *State) BitSize() int {
-	return 7 +
+	return bits.Flag(s.Up.Valid) + bits.Flag(s.Down.Valid) + bits.Flag(s.Down.Flag) +
+		bits.Flag(s.Reset) + bits.Flag(s.ResetAck) + bits.Flag(s.CovValid) + bits.Flag(s.Alarm) +
 		bits.ForInt(int64(s.Up.Pos)) + pieceBits(s.Up.P) +
 		bits.ForInt(int64(s.UpNext)) +
 		bits.ForInt(int64(s.Down.Pos)) + pieceBits(s.Down.P) +
@@ -118,6 +120,8 @@ func Step(old *State, c *Ctx) *State {
 // variant of Step (State has no reference fields, so recycling is a plain
 // overwrite). dst must not alias old or any peer state reachable from c.
 // Inputs are never mutated.
+//
+//ssmst:hotpath
 func StepInto(dst *State, old *State, c *Ctx) {
 	*dst = *old
 	s := dst

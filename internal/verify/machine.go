@@ -26,9 +26,11 @@ const (
 // (parent pointer — the structure under verification), the label block,
 // the two train states, and the sampler.
 type VState struct {
-	MyID       graph.NodeID
+	MyID graph.NodeID
+	//ssmst:tracked -- the component claim: the memoized static verdict derives from it
 	ParentPort int // the component c(v): -1 claims root
-	L          *NodeLabels
+	//ssmst:tracked -- the label block: static verdict, labelBits and samplerLevels memos all derive from it
+	L *NodeLabels
 
 	TopS train.State
 	BotS train.State
@@ -69,11 +71,11 @@ type VState struct {
 	// are bit-identical with memoization disabled (Machine.FullRecheck;
 	// TestIncrementalMatchesFullRecheck) — so BitSize excludes them, like
 	// the engine's double buffer.
-	StaticValid  bool
-	StaticAlarm  bool
-	StaticCode   AlarmCode
-	StaticWindow int
-	StaticEpoch  int64
+	StaticValid  bool      //ssmst:nobits -- recomputable static-verdict memo
+	StaticAlarm  bool      //ssmst:nobits
+	StaticCode   AlarmCode //ssmst:nobits
+	StaticWindow int       //ssmst:nobits
+	StaticEpoch  int64     //ssmst:nobits
 
 	// Simulator-side memo of label-derived measurements, maintained next to
 	// the static verdict (same lifetime: labels change only under faults and
@@ -89,8 +91,8 @@ type VState struct {
 	// memory, so BitSize excludes them.
 	labelBits     int
 	labelBitsOK   bool
-	samplerLevels []int
-	samplerMemoOK bool
+	samplerLevels []int //ssmst:nobits -- recomputable claimed-level memo
+	samplerMemoOK bool  //ssmst:nobits
 }
 
 // AlarmCode identifies the verifier layer that raised an alarm.
@@ -115,6 +117,10 @@ const (
 var alarmCodeNames = [numAlarmCodes]string{
 	"none", "neighbour", "sp", "size", "strings", "trainlabels", "coverage", "traincycle", "sampler",
 }
+
+// BitSize is the encoded width of the alarm attribution code, which lives
+// in node memory like the flag it refines.
+func (c AlarmCode) BitSize() int { return bits.ForEnum(int(numAlarmCodes)) }
 
 func (c AlarmCode) String() string {
 	if int(c) < len(alarmCodeNames) {
@@ -180,6 +186,8 @@ func (s *VState) RemapPorts(oldToNew []int) {
 // (the labels it measures are copied right below, so it stays consistent),
 // while the claimed-level list keeps s's own backing array and is marked
 // for rebuild (sharing src's array would alias two live states).
+//
+//ssmst:hotpath
 func (s *VState) CopyFrom(src *VState) {
 	l, lv := s.L, s.samplerLevels
 	*s = *src
@@ -201,6 +209,8 @@ func (s *VState) CopyFrom(src *VState) {
 // in-place step may use it, and only when the caller has proved (via the
 // static memo stamp and the engine's dirty-epoch tracking) that s's labels
 // are bit-identical to src's — see Machine.StepInto.
+//
+//ssmst:hotpath
 func (s *VState) copyFromKeepingLabels(src *VState) {
 	l, lv, mok := s.L, s.samplerLevels, s.samplerMemoOK
 	*s = *src
@@ -221,9 +231,10 @@ func (s *VState) BitSize() int {
 		s.labelBitsOK = true
 	}
 	// Straight sum, same reasoning as train.State.BitSize: this runs for
-	// every node every round. The leading 3 counts AskValid, Want.Valid and
-	// AlarmFlag; the AlarmCode enum width is added explicitly.
-	return 3 + bits.ForEnum(int(numAlarmCodes)) +
+	// every node every round. Each flag is counted through bits.Flag
+	// (inlined to 1) so bitsizeaudit can tie the accounting to the fields.
+	return bits.Flag(s.AskValid) + bits.Flag(s.Want.Valid) + bits.Flag(s.AlarmFlag) +
+		s.AlarmCode.BitSize() +
 		bits.ForInt(int64(s.MyID)) +
 		bits.ForInt(int64(s.ParentPort)) +
 		s.labelBits +
@@ -319,6 +330,8 @@ func (m *Machine) LabelCopies() int64 { return m.labelCopies.Load() }
 
 // runtimeView adapts runtime.View to NodeView (and Tracker: the engine's
 // dirty-epoch tracking backs the change clock).
+//
+//ssmst:allow determinism -- stack-allocated per step call; never outlives the step
 type runtimeView struct{ v *runtime.View }
 
 func (a runtimeView) Degree() int                  { return a.v.Degree() }
@@ -421,11 +434,14 @@ func (m *Machine) Step(v *runtime.View) runtime.State {
 // into the recycled two-rounds-old VState (reusing its NodeLabels buffers)
 // and the per-View Scratch supplies every temporary, so the steady-state
 // round loop allocates nothing.
+//
+//ssmst:hotpath
 func (m *Machine) StepInPlace(v *runtime.View, scratch runtime.State) runtime.State {
 	dst, ok := scratch.(*VState)
 	if !ok || dst == nil {
-		dst = new(VState)
+		dst = new(VState) //ssmst:allow hotpathalloc -- cold fallback: first round only, before the engine owns a recycled slot
 	}
+	//ssmst:allow hotpathalloc -- the adapter does not escape StepInto; the runtime alloc gate pins this at 0 allocs
 	return m.StepInto(dst, runtimeView{v}, scratchFor(v))
 }
 
@@ -446,6 +462,8 @@ func (m *Machine) StepCore(v NodeView) *VState {
 // layer — the two trains, the coverage residual, the Ask/Show sampler —
 // runs every round. In a quiet network the per-round cost is therefore the
 // dynamic layer plus one O(degree) change probe, not the full label check.
+//
+//ssmst:hotpath
 func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	old := v.Self()
 	tr, tracked := v.(Tracker)

@@ -189,6 +189,7 @@ func ApplyFault(s *VState, kind FaultKind, rng *rand.Rand, degree int) bool {
 	return true
 }
 
+//ssmst:memosafe -- ApplyFault (the only caller) invalidates after every effective mutation
 func applyFaultKind(s *VState, kind FaultKind, rng *rand.Rand, degree int) bool {
 	switch kind {
 	case FaultStoredPieceW:
