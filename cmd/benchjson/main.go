@@ -26,6 +26,14 @@
 // centralized cross-check (DFS T-lightness + cycle Union-Find) at n=4096 —
 // the sequential baseline the distributed round costs are read against.
 //
+// The quiet-coast rows (PR 8) record the steady-state round cost over a
+// fully certified, unchanging network — the sparse worklist engine against
+// the dense full-sweep coast reference at n ∈ {4096, 16384, 65536}. These
+// carry their own baseline-independent guard: the worklist quiet round at
+// n=65536 must stay within 2× of the n=4096 value (the O(active + Δ)
+// contract — a quiet round must not scale with n), enforced on every run
+// unless SSMST_BENCH_SKIP_GUARD is set.
+//
 // -out has no default: every caller (CI included) names its own snapshot
 // explicitly. With -baseline the command additionally guards against
 // perf regressions: it compares the freshly measured incremental quiet
@@ -162,6 +170,30 @@ func main() {
 			rep.Results = append(rep.Results, Result{N: n, Path: cfg.path, RoundCost: &cost})
 		}
 	}
+	// Quiet-coast rows (PR 8): the steady-state cost of one round over a
+	// fully certified, unchanging network — the sparse worklist engine
+	// against the dense full-sweep coast reference, at sizes extending past
+	// the per-round trajectory (65536 is where Θ(n) and O(active + Δ) are
+	// unmistakably apart). The worklist rows run many more rounds per
+	// window: at nanosecond-scale rounds the measurement needs the extra
+	// resolution.
+	for _, n := range []int{4096, 16384, 65536} {
+		for _, cfg := range []struct {
+			path     string
+			worklist bool
+			rounds   int
+		}{
+			{"coast-worklist", true, 4096},
+			{"coast-dense", false, *rounds},
+		} {
+			cost, ok := core.MeasureCoastQuietRound(n, cfg.worklist, cfg.rounds, 1)
+			if !ok {
+				log.Fatalf("benchjson: quiet-coast n=%d %s: network never fully certified", n, cfg.path)
+			}
+			rep.Results = append(rep.Results, Result{N: n, Path: cfg.path, RoundCost: &cost})
+		}
+	}
+
 	// The churn row: detection latency after a live MST-breaking weight flip
 	// at the guarded n — the new workload's headline number, tracked in the
 	// same trajectory file as the round costs. A failed measurement (never
@@ -233,6 +265,30 @@ func main() {
 	if !churnPlanned || !churn.Detected {
 		log.Fatalf("benchjson: churn measurement failed at n=%d (planned=%v detected=%v); %s was still written without the churn row",
 			guardN, churnPlanned, churn.Detected, *out)
+	}
+
+	// The PR 8 sub-linearity gate is self-contained (no baseline needed):
+	// the worklist quiet round must not scale with n, pinned as "n=65536
+	// within 2× of n=4096". Both numbers are already best-of-5 windows; the
+	// absolute floor keeps sub-100ns timer jitter out of the margin — a
+	// quiet round that regressed to Θ(n) at 65536 sits at ~1e6 ns, three
+	// orders of magnitude past it.
+	if !skipGuard {
+		base := findCoastRow(&rep, "coast-worklist", 4096)
+		big := findCoastRow(&rep, "coast-worklist", 65536)
+		if base == nil || big == nil {
+			log.Fatal("bench guard: quiet-coast worklist rows missing from the measurement")
+		}
+		limit := 2 * base.NsPerRound
+		if limit < 100 {
+			limit = 100
+		}
+		fmt.Printf("bench guard: worklist quiet round: n=65536 %d ns vs n=4096 %d ns (limit %d)\n",
+			big.NsPerRound, base.NsPerRound, limit)
+		if big.NsPerRound > limit {
+			log.Fatalf("bench guard: worklist quiet round scales with n: %d ns at n=65536 exceeds 2x the %d ns at n=4096 — the O(active + Δ) contract is broken",
+				big.NsPerRound, base.NsPerRound)
+		}
 	}
 
 	if base != nil {
@@ -324,6 +380,15 @@ func findCampaignRow(r *Report, family string, k int) *Result {
 		res := &r.Results[i]
 		if res.Path == "campaign" && res.Family == family && res.K == k {
 			return res
+		}
+	}
+	return nil
+}
+
+func findCoastRow(r *Report, path string, n int) *Result {
+	for i := range r.Results {
+		if r.Results[i].N == n && r.Results[i].Path == path {
+			return &r.Results[i]
 		}
 	}
 	return nil

@@ -83,6 +83,14 @@ func TestMemoContractFixture(t *testing.T) {
 	runFixture(t, "memocontract", []*Analyzer{MemoContract}, DefaultConfig())
 }
 
+// TestLazyClockFixture pins the worklist engine's lazy-clock write pattern
+// (PR 8): a closed-form clock advance is hot-path clean and touches no
+// tracked state; the journaling and label-repairing degradations are
+// flagged by the existing analyzers with no new rules.
+func TestLazyClockFixture(t *testing.T) {
+	runFixture(t, "lazyclock", []*Analyzer{HotPathAlloc, MemoContract}, DefaultConfig())
+}
+
 func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, "determinism", []*Analyzer{Determinism}, Config{
 		DeterminismPaths: []string{"step"},

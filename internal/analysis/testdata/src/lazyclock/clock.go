@@ -1,0 +1,76 @@
+// Package lazyclock is the fixture for the worklist engine's lazy-clock
+// write pattern (internal/verify coastAdvance, internal/train
+// IdleTimerAdvance): a closed-form k-round advance is a hot path that may
+// only rewrite untracked scalar clock fields in place — no allocation, and
+// no tracked-field writes outside the invalidation protocol. The clean
+// function is the sanctioned shape; the flagged variants are the two ways
+// the pattern degrades (journaling the skipped rounds into a fresh slice,
+// and "repairing" a tracked label from inside the advance).
+package lazyclock
+
+// State is a coasting node: tracked labels with a derived memo, plus the
+// untracked clock orbit the closed form replays.
+type State struct {
+	//ssmst:tracked
+	Label int
+	memo  bool
+
+	Timer  int
+	Cursor int
+	Budget int
+}
+
+func (s *State) InvalidateMemo() { s.memo = false }
+
+// Clone drops the memo through the invalidator: clean.
+func (s *State) Clone() *State {
+	c := *s
+	c.InvalidateMemo()
+	return &c
+}
+
+// advance is the sanctioned lazy-clock shape: k iterated ticks replayed as
+// O(1) modular arithmetic, writing only the untracked clock scalars of
+// existing memory.
+//
+//ssmst:hotpath
+func advance(s *State, k int) {
+	m := s.Budget + 1
+	if m < 1 {
+		m = 1
+	}
+	t := (s.Timer + k%m) % m
+	if t < 0 {
+		t += m
+	}
+	s.Timer = t
+	s.Cursor = (s.Cursor + k/m) % m
+}
+
+// advanceJournaled degrades the pattern by materializing the skipped
+// rounds — the allocation the closed form exists to avoid.
+//
+//ssmst:hotpath
+func advanceJournaled(s *State, k int) []int {
+	trace := make([]int, 0, k) // want "make in hot path"
+	for i := 0; i < k; i++ {
+		advance(s, 1)
+		trace = append(trace, s.Timer)
+	}
+	return trace
+}
+
+// advanceRepairing degrades it the other way: a clock advance must never
+// touch tracked state — a label write belongs to the full step, paired
+// with invalidation.
+func advanceRepairing(s *State, k int) {
+	advance(s, k)
+	s.Label = s.Timer // want "write to tracked field Label"
+}
+
+// resetPaired owns a tracked write the legal way, so the fixture proves
+// the pairing rule stays satisfiable next to the clock code: clean.
+func resetPaired(s *State, v int) {
+	s.Label = v
+	s.InvalidateMemo()
+}

@@ -1,0 +1,3 @@
+module lazyclock
+
+go 1.21

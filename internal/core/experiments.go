@@ -691,6 +691,85 @@ func MeasureVerifierRound(g *graph.Graph, l *verify.Labeled, inplace, fullRechec
 	}
 }
 
+// MeasureCoastQuietRound measures the steady-state cost of one QUIET round
+// of the coasting regime — the whole network certified frozen, nothing
+// changing — on the sparse worklist engine (worklist=true, the PR 8 path:
+// empty frontier, O(active + Δ) = O(1) per round) or on the dense
+// full-sweep coast reference (worklist=false: every node is still visited
+// each round to conclude it is frozen, so the quiet round stays Θ(n)).
+// Settling into the coasting regime is setup, not measurement. ok is false
+// when the marker failed or the network did not fully certify within the
+// settle budget. Shared by cmd/benchjson's PR 8 rows, so the sub-linearity
+// acceptance gate and the experiment stay methodologically identical.
+func MeasureCoastQuietRound(n int, worklist bool, rounds int, seed int64) (RoundCost, bool) {
+	g := graph.RandomConnected(n, 2*n, seed)
+	l, err := verify.Mark(g)
+	if err != nil {
+		return RoundCost{}, false
+	}
+	var r *verify.Runner
+	if worklist {
+		r = verify.NewWorklistRunner(l, seed)
+	} else {
+		r = verify.NewCoastRunner(l, seed)
+	}
+	if !settleCoasting(r, n, worklist) {
+		return RoundCost{}, false
+	}
+	// Settling is the expensive part; the quiet rounds themselves are cheap,
+	// so take the best of several measurement windows on the one settled
+	// instance — the min is what the sub-linearity gate in cmd/benchjson
+	// compares, and a single window at nanosecond-scale rounds would put
+	// timer jitter inside the gate's margin.
+	var best RoundCost
+	for sample := 0; sample < 5; sample++ {
+		var m0, m1 gort.MemStats
+		gort.ReadMemStats(&m0)
+		start := time.Now()
+		r.Eng.RunSyncRounds(rounds)
+		elapsed := time.Since(start)
+		gort.ReadMemStats(&m1)
+		c := RoundCost{
+			NsPerRound:    elapsed.Nanoseconds() / int64(rounds),
+			AllocsPerRnd:  (m1.Mallocs - m0.Mallocs) / uint64(rounds),
+			BytesPerRound: (m1.TotalAlloc - m0.TotalAlloc) / uint64(rounds),
+		}
+		if sample == 0 || c.NsPerRound < best.NsPerRound {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// settleCoasting drives a coast-enabled runner until the whole network is
+// certified frozen. The worklist engine reports this in O(1) through its
+// frontier (LastActive() == 0 ⇒ nothing stepped ⇒ everything coasting); the
+// dense reference is checked by a periodic Θ(n) scan of the certification
+// flags so the settle loop stays cheap at large n.
+func settleCoasting(r *verify.Runner, n int, worklist bool) bool {
+	budget := 2 * verify.DetectionBudget(n)
+	for i := 1; i <= budget; i++ {
+		r.Step()
+		if worklist {
+			if r.Eng.LastActive() == 0 {
+				return true
+			}
+			continue
+		}
+		if i%64 != 0 {
+			continue
+		}
+		frozen := true
+		for v := 0; v < n && frozen; v++ {
+			frozen = r.Eng.State(v).(*verify.VState).Coasting
+		}
+		if frozen {
+			return true
+		}
+	}
+	return false
+}
+
 // VerifierScaling measures the production machine the engine exists for:
 // one verifier round over the whole network at growing n — clone path,
 // in-place full re-check, and the in-place incremental verifier

@@ -355,6 +355,11 @@ type Engine struct {
 	// cannot win on wall-clock. For tests and measurements that must
 	// exercise the pool (which has a minimum of 2 workers) anywhere.
 	ForcePool bool
+	// Worklist enables sparse active-set stepping for synchronous rounds
+	// when the machine implements CoastStepper (see worklist.go); machines
+	// that do not implement it fall back to dense rounds. The asynchronous
+	// daemon ignores it.
+	Worklist bool
 
 	maxBits     int
 	activations int64
@@ -377,6 +382,19 @@ type Engine struct {
 	maxDirty     int64
 	pendingDirty []int32
 	inSyncStep   bool
+
+	// Worklist stepping (see worklist.go): the frontier buffers hold the
+	// active sets of the current and next sparse round; matT[i] is the round
+	// whose end-of-round state states[i] reflects (skipped quiescent nodes
+	// lag and are materialized on demand via CoastStepper.CoastAdvance).
+	coaster      CoastStepper // non-nil iff machine implements the contract
+	frontier     []int32
+	nextFrontier []int32
+	inFrontier   []bool  // nextFrontier membership (dedup)
+	matT         []int64 // nil until the first sparse round
+	sparseActive []int32 // active list shared with pool workers for one round
+	stepsTaken   int64
+	lastActive   int
 
 	//ssmst:allow determinism -- the engine owns the View lifecycle; this one is re-aimed before every use
 	view  View  // reusable View for serial stepping, Init, and async
@@ -409,6 +427,7 @@ func New(g *graph.Graph, machine Machine, seed int64) *Engine {
 		dirty:       make([]int64, g.N()),
 	}
 	e.inplace, _ = machine.(InPlaceStepper)
+	e.coaster, _ = machine.(CoastStepper)
 	e.view.engine = e
 	e.view.snap = e.states
 	for i := 0; i < g.N(); i++ {
@@ -443,8 +462,15 @@ func (e *Engine) Activations() int64 { return e.activations }
 func (e *Engine) MaxStateBits() int { return e.maxBits }
 
 // State returns node v's current state (read-only; see InPlaceStepper for
-// the lifetime caveat under in-place machines).
-func (e *Engine) State(v int) State { return e.states[v] }
+// the lifetime caveat under in-place machines). Under worklist stepping a
+// skipped node's lagged clockwork is materialized before the state is
+// returned, so observers never see a lagged state.
+func (e *Engine) State(v int) State {
+	if e.matT != nil && e.matT[v] < int64(e.round) {
+		e.materialize(v, int64(e.round))
+	}
+	return e.states[v]
+}
 
 // SetState overwrites node v's state; used for adversarial initialization
 // and fault injection. The node is marked dirty one epoch past the current
@@ -460,6 +486,9 @@ func (e *Engine) SetState(v int, s State) {
 		mi.InvalidateMemo()
 	}
 	e.states[v] = s
+	if e.matT != nil {
+		e.matT[v] = int64(e.round) // the installed state is current by fiat
+	}
 	e.noteState(v)
 	e.bumpDirty(v, int64(e.round)+1)
 }
@@ -468,6 +497,9 @@ func (e *Engine) SetState(v int, s State) {
 //
 //ssmst:hotpath
 func (e *Engine) bumpDirty(v int, epoch int64) {
+	if e.inFrontier != nil {
+		e.wakeNeighbourhood(v)
+	}
 	if epoch > e.dirty[v] {
 		e.dirty[v] = epoch
 	}
@@ -507,7 +539,7 @@ func (e *Engine) commitMarks() {
 
 // Corrupt applies an adversarial mutation to node v's state.
 func (e *Engine) Corrupt(v int, f func(State) State) {
-	e.SetState(v, f(e.states[v].Clone()))
+	e.SetState(v, f(e.State(v).Clone()))
 }
 
 // ErrResyncDegraded is returned by MutateTopology when the mutation WAS
@@ -565,6 +597,23 @@ func (e *Engine) ResyncTopology() (precise bool) {
 		return true
 	}
 	changes, ok := e.g.ChangesSince(e.topoVersion)
+	if e.matT != nil {
+		// Replay lagged coast clockwork for every node the mutation batch
+		// touched BEFORE the CSR snapshot is replaced: the lag accrued
+		// entirely under the pre-mutation topology, so the algebraic replay
+		// must see the old degrees.
+		T := int64(e.round)
+		if !ok {
+			for v := range e.matT {
+				e.materialize(v, T)
+			}
+		} else {
+			for _, c := range changes {
+				e.materialize(c.U, T)
+				e.materialize(c.V, T)
+			}
+		}
+	}
 	e.adj = e.g.Adjacency()
 	epoch := int64(e.round) + 1
 	if !ok {
@@ -704,6 +753,18 @@ func (e *Engine) effectiveWorkers(n int) int {
 // round's states and all updates apply simultaneously. The two state
 // buffers are swapped; no allocation happens in the steady state.
 func (e *Engine) StepSync() {
+	if e.Worklist && e.coaster != nil {
+		e.stepSyncSparse()
+		return
+	}
+	if e.matT != nil {
+		// Worklist was switched off after sparse rounds ran: replay all
+		// residual lag so the dense round reads current states everywhere.
+		T := int64(e.round)
+		for i := range e.matT {
+			e.materialize(i, T)
+		}
+	}
 	n := e.g.N()
 	e.stepSnap, e.stepNext = e.states, e.prev
 	e.alarmCount, e.doneCount = 0, 0
@@ -756,6 +817,15 @@ func (e *Engine) StepSync() {
 	e.stepSnap, e.stepNext = nil, nil
 	e.round++
 	e.activations += int64(n)
+	e.stepsTaken += int64(n)
+	e.lastActive = n
+	if e.matT != nil {
+		// Every node stepped; re-stamp so no phantom lag replays on read.
+		T := int64(e.round)
+		for i := range e.matT {
+			e.matT[i] = T
+		}
+	}
 	e.commitMarks()
 }
 
@@ -829,7 +899,11 @@ func ensurePool() {
 			go func() {
 				var v View
 				for e := range pool.jobs {
-					e.runChunks(&v)
+					if e.sparseActive != nil {
+						e.runChunksSparse(&v)
+					} else {
+						e.runChunks(&v)
+					}
 				}
 			}()
 		}
@@ -842,6 +916,14 @@ func ensurePool() {
 // activation-order buffer is reused across time units.
 func (e *Engine) StepAsync() {
 	n := e.g.N()
+	if e.matT != nil {
+		// The async daemon reads current states directly; clear any lag left
+		// behind by earlier sparse rounds.
+		T := int64(e.round)
+		for i := 0; i < n; i++ {
+			e.materialize(i, T)
+		}
+	}
 	order := e.order[:0]
 	for i := 0; i < n; i++ {
 		order = append(order, i)
@@ -872,8 +954,15 @@ func (e *Engine) StepAsync() {
 		e.states[node] = e.machine.Step(v)
 		e.noteState(node)
 		e.activations++
+		e.stepsTaken++
 	}
 	e.round++
+	if e.matT != nil {
+		T := int64(e.round)
+		for i := range e.matT {
+			e.matT[i] = T
+		}
+	}
 }
 
 // Step advances one time unit under the selected daemon.

@@ -1,0 +1,297 @@
+package runtime
+
+// Worklist (active-set) stepping — PR 8.
+//
+// A synchronous round of the dense engine visits all n nodes even when the
+// network is quiet and almost every step is a memo-hit replay. The worklist
+// mode inverts that: the engine keeps a frontier of nodes whose next step
+// could differ from the machine's declared coast regime, steps only those,
+// and advances every skipped node's clockwork algebraically on demand. A
+// quiet round is O(active + Δ) — the active set plus the 1-hop halo of the
+// round's dirty marks — instead of O(n).
+//
+// # The activation contract
+//
+// The machine side of the bargain is the CoastStepper interface: a machine
+// declares, per state, whether the node is quiescent — meaning its next
+// step, under an unchanged neighbourhood, is exactly one tick of a pure
+// per-node clockwork (CoastAdvance with k=1) — and provides the k-round
+// closed form of that clockwork. The verifier's coast regime (certified
+// static verdict, trains at rest, starved sampler sweep; see
+// internal/verify/coast.go) and SYNC_MST's terminated states (a literal
+// fixed point) implement it.
+//
+// The engine side seeds the frontier from the same dirty-epoch journal that
+// powers incremental verification:
+//
+//   - every dirty bump — View.MarkChanged commits, SetState, Corrupt,
+//     MutateTopology/ResyncTopology — wakes the marked node AND its 1-hop
+//     neighbours (a step reads exactly the 1-hop neighbourhood, so that is
+//     the full influence cone of one change);
+//   - every stepped node that remains non-quiescent re-enters the frontier
+//     (its state keeps evolving, which its own next step must see);
+//   - a machine that wakes out of its coast regime marks itself changed
+//     (the verifier's wake mark), which wakes its neighbours next round —
+//     faults melt a coasting region outward at one hop per round until the
+//     protocol re-certifies and re-freezes it.
+//
+// Skipping is sound because it is exactly the machine's own coast branch:
+// the dense engine steps a quiescent node by running CoastAdvance(s, 1)
+// inside the machine step, the sparse engine runs CoastAdvance(s, k) once
+// on re-activation (or on read). Both trajectories are the same function of
+// the same inputs, so verdicts, detection rounds, alarm traces and
+// MaxStateBits are bit-identical by construction — locked by the
+// differential parity suite and fuzz battery in internal/verify.
+//
+// Lazy materialization: states[i] of a skipped node reflects the end of
+// round matT[i] ≤ round. Before a round, every active node and every
+// skipped neighbour of an active node is materialized to the current round,
+// so machine steps always read fullsweep-equivalent values; Engine.State
+// materializes on read, so external observers never see a lagged state.
+// CoastStepper states must keep BitSize constant while quiescent (the
+// verifier memoizes a width-complete coast footprint), so the bit
+// high-water mark needs no per-round re-measurement of skipped nodes.
+
+// CoastStepper is the optional Machine contract behind worklist stepping
+// (Engine.Worklist). Quiescent reports whether s is in the machine's coast
+// regime: stepping it under an unchanged neighbourhood is exactly
+// CoastAdvance(s, deg, 1), it raises no alarm, and its BitSize is constant.
+// CoastAdvance advances the coast clockwork of s by k rounds, in place, in
+// O(1) — wraps and resets replayed algebraically, never iterated.
+type CoastStepper interface {
+	Quiescent(s State) bool
+	CoastAdvance(s State, deg, k int)
+}
+
+// StepsTaken returns the cumulative number of machine steps executed. Under
+// dense stepping it advances by n per synchronous round; under worklist
+// stepping by the active-set size, so a quiet round adds ~0.
+func (e *Engine) StepsTaken() int64 { return e.stepsTaken }
+
+// LastActive returns the size of the previous synchronous round's active
+// set (n under dense stepping).
+func (e *Engine) LastActive() int { return e.lastActive }
+
+// worklistReady reports whether sparse structures are armed.
+func (e *Engine) worklistReady() bool { return e.inFrontier != nil }
+
+// ensureWorklist allocates the sparse structures and seeds the frontier
+// with every node (everything is initially awake; nodes drop out as the
+// machine certifies them quiescent). One-time cost; the round loop itself
+// allocates nothing afterwards.
+func (e *Engine) ensureWorklist() {
+	if e.worklistReady() {
+		return
+	}
+	n := e.g.N()
+	e.inFrontier = make([]bool, n)
+	e.frontier = make([]int32, 0, n)
+	e.nextFrontier = make([]int32, 0, n)
+	e.matT = make([]int64, n)
+	now := int64(e.round)
+	for i := 0; i < n; i++ {
+		e.matT[i] = now
+		e.inFrontier[i] = true
+		e.nextFrontier = append(e.nextFrontier, int32(i))
+	}
+}
+
+// enqueue schedules node i for the next sparse round.
+//
+//ssmst:hotpath
+func (e *Engine) enqueue(i int32) {
+	if !e.inFrontier[i] {
+		e.inFrontier[i] = true
+		e.nextFrontier = append(e.nextFrontier, i)
+	}
+}
+
+// wakeNeighbourhood schedules a dirty node and its 1-hop neighbours — the
+// influence cone of one state change under the read-neighbours-once step
+// model. Called from bumpDirty, which runs only between rounds (in-round
+// marks buffer and commit at the boundary), so no locking is needed.
+//
+//ssmst:hotpath
+func (e *Engine) wakeNeighbourhood(v int) {
+	e.enqueue(int32(v))
+	a := e.adj
+	lo, hi := a.Off[v], a.Off[v+1]
+	for _, p := range a.Peer[lo:hi] {
+		e.enqueue(p)
+	}
+}
+
+// materialize advances a skipped node's coast clockwork to the end of round
+// T. The state must be quiescent (the engine only lets quiescent nodes lag;
+// every injection/topology path re-synchronizes matT first).
+//
+//ssmst:hotpath
+func (e *Engine) materialize(i int, T int64) {
+	k := T - e.matT[i]
+	if k <= 0 {
+		return
+	}
+	e.matT[i] = T
+	a := e.adj
+	deg := int(a.Off[i+1] - a.Off[i])
+	e.coaster.CoastAdvance(e.states[i], deg, int(k))
+}
+
+// stepNodeSparse steps node i and returns its bit size and the round's
+// alarm/termination count deltas (the sparse round adjusts the incremental
+// counters by flips instead of re-counting the population).
+//
+//ssmst:hotpath
+func (e *Engine) stepNodeSparse(v *View, i int) (bitSize, dAlarm, dDone int) {
+	wasA, wasD := e.alarmed[i], e.done[i]
+	b, a, d := e.stepNode(v, i)
+	if a != wasA {
+		if a {
+			dAlarm = 1
+		} else {
+			dAlarm = -1
+		}
+	}
+	if d != wasD {
+		if d {
+			dDone = 1
+		} else {
+			dDone = -1
+		}
+	}
+	return b, dAlarm, dDone
+}
+
+// stepSyncSparse is the worklist variant of StepSync: materialize the
+// active set and its read halo, step only the active set (serial or fanned
+// out over the shared pool), install the new states by per-slot buffer
+// swap, and rebuild the frontier for the next round from still-active nodes
+// plus the round's committed dirty marks.
+func (e *Engine) stepSyncSparse() {
+	e.ensureWorklist()
+	T := int64(e.round)
+	// Take this round's frontier; enqueues during the round target the next.
+	e.frontier, e.nextFrontier = e.nextFrontier, e.frontier[:0]
+	active := e.frontier
+	a := e.adj
+	for _, i := range active {
+		e.inFrontier[i] = false
+		e.materialize(int(i), T)
+	}
+	for _, i := range active {
+		lo, hi := a.Off[i], a.Off[i+1]
+		for _, p := range a.Peer[lo:hi] {
+			if e.matT[p] < T {
+				e.materialize(int(p), T)
+			}
+		}
+	}
+	e.lastActive = len(active)
+	if len(active) == 0 {
+		// All-quiet round: the clock advances, nothing is stepped. Skipped
+		// clockwork accrues lag and is replayed on demand.
+		e.round++
+		e.commitMarks()
+		return
+	}
+
+	e.stepSnap, e.stepNext = e.states, e.prev
+	e.inSyncStep = true
+	parallel := false
+	if e.Parallel {
+		thr := e.ParallelThreshold
+		if thr == 0 {
+			thr = DefaultParallelThreshold
+		}
+		if len(active) >= thr {
+			ensurePool()
+			if w := e.effectiveWorkers(len(active)); w > 1 && (pool.cores > 1 || e.ForcePool) {
+				parallel = true
+				e.sparseActive = active
+				e.cursor.Store(0)
+				e.wg.Add(w)
+				for i := 0; i < w; i++ {
+					pool.jobs <- e
+				}
+				e.wg.Wait()
+				e.sparseActive = nil
+			}
+		}
+	}
+	if !parallel {
+		v := &e.view
+		v.snap = e.stepSnap
+		localMax, dAlarm, dDone := 0, 0, 0
+		for _, i := range active {
+			b, da, dd := e.stepNodeSparse(v, int(i))
+			if b > localMax {
+				localMax = b
+			}
+			dAlarm += da
+			dDone += dd
+		}
+		if localMax > e.maxBits {
+			e.maxBits = localMax
+		}
+		e.alarmCount += dAlarm
+		e.doneCount += dDone
+		e.flushMarks(v)
+	}
+	e.inSyncStep = false
+	// Install: per-slot swap, O(active). Skipped slots keep their (possibly
+	// lagged) states; the read-previous-round invariant held during the
+	// round because writes went to the spare buffer's slots only.
+	for _, i := range active {
+		e.states[i], e.prev[i] = e.prev[i], e.states[i]
+		e.matT[i] = T + 1
+	}
+	e.stepSnap, e.stepNext = nil, nil
+	e.round++
+	e.activations += int64(len(active))
+	e.stepsTaken += int64(len(active))
+	e.commitMarks() // wakes the marks' neighbourhoods for the next round
+	for _, i := range active {
+		if !e.coaster.Quiescent(e.states[i]) {
+			e.enqueue(i)
+		}
+	}
+}
+
+// runChunksSparse is the pool-worker body of a sparse round: claim chunks
+// of the active list off the shared cursor, step those nodes, merge the
+// flip-delta reduction.
+func (e *Engine) runChunksSparse(v *View) {
+	defer e.wg.Done()
+	defer func() { v.engine, v.snap = nil, nil }()
+	v.engine = e
+	v.snap = e.stepSnap
+	active := e.sparseActive
+	n := len(active)
+	localMax, dAlarm, dDone := 0, 0, 0
+	for {
+		lo := int(e.cursor.Add(stepChunk)) - stepChunk
+		if lo >= n {
+			break
+		}
+		hi := lo + stepChunk
+		if hi > n {
+			hi = n
+		}
+		for _, i := range active[lo:hi] {
+			b, da, dd := e.stepNodeSparse(v, int(i))
+			if b > localMax {
+				localMax = b
+			}
+			dAlarm += da
+			dDone += dd
+		}
+	}
+	e.mu.Lock()
+	if localMax > e.maxBits {
+		e.maxBits = localMax
+	}
+	e.alarmCount += dAlarm
+	e.doneCount += dDone
+	e.flushMarks(v)
+	e.mu.Unlock()
+}

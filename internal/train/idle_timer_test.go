@@ -1,0 +1,45 @@
+package train
+
+import "testing"
+
+// TestIdleTimerAdvanceMatchesTicks pins the resting watchdog's lazy-clock
+// algebra: the closed form equals iterated single ticks across the wrap,
+// from canonical and adversarial starting values alike, for every budget
+// shape including the degenerate ones (budget 0 wraps every round; a
+// negative budget — impossible from labels, but the closed form is total —
+// clamps to period 1).
+func TestIdleTimerAdvanceMatchesTicks(t *testing.T) {
+	for _, budget := range []int{-3, 0, 1, 5, 31} {
+		period := budget + 1
+		if period < 1 {
+			period = 1
+		}
+		for _, start := range []int{-9, -1, 0, 3, budget, budget + 7} {
+			limit := 3*period + 5
+			cur := start
+			for k := 1; k <= limit; k++ {
+				cur = IdleTimerTick(cur, budget)
+				if cur < 0 || cur > budget && cur != 0 {
+					t.Fatalf("budget %d start %d: tick left timer %d outside [0, %d]", budget, start, cur, budget)
+				}
+				if got := IdleTimerAdvance(start, budget, k); got != cur {
+					t.Fatalf("budget %d start %d: advance(%d) = %d, tick^%d = %d", budget, start, k, got, k, cur)
+				}
+			}
+			// Compositionality: chunked advances land where one jump does.
+			for _, a := range []int{1, period, limit / 2} {
+				split := IdleTimerAdvance(IdleTimerAdvance(start, budget, a), budget, limit-a)
+				if whole := IdleTimerAdvance(start, budget, limit); split != whole {
+					t.Fatalf("budget %d start %d: advance(%d)+advance(%d) = %d, advance(%d) = %d",
+						budget, start, a, limit-a, split, limit, whole)
+				}
+			}
+		}
+		// In-range starts: advancing by zero is the identity.
+		for s := 0; s <= budget; s++ {
+			if got := IdleTimerAdvance(s, budget, 0); got != s {
+				t.Fatalf("budget %d: advance(%d, 0) = %d, want identity", budget, s, got)
+			}
+		}
+	}
+}

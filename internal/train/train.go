@@ -98,6 +98,19 @@ type Ctx struct {
 	// Wanted reports whether some graph neighbour currently requests that
 	// this node hold a shown piece of the given level (asynchronous mode).
 	Wanted func(level int) bool
+
+	// RestOK, set by an embedding machine that has certified a quiet horizon
+	// (no tracked neighbourhood change for a configured stretch; see
+	// internal/verify coast mode), lets the part root PARK at the end of a
+	// completed cycle instead of launching the next reset+sweep: the
+	// watchdog Timer keeps ticking modulo its wrap (Timer is never read by
+	// peers, so the tick is protocol-invisible) and the convergecast stays
+	// drained, so the whole train reaches a per-node fixed point. Any fault
+	// re-dirties the horizon, RestOK drops, and the very next root step
+	// fires the watchdog reset and resumes sweeping. Default false: the
+	// paper's always-sweeping behavior, bit-identical to before this field
+	// existed.
+	RestOK bool
 }
 
 // Budget returns the cycle budget: a healthy cycle (convergecast +
@@ -153,11 +166,16 @@ func StepInto(dst *State, old *State, c *Ctx) {
 				s.flush(winLo)
 			}
 		} else {
-			s.Timer++
 			cycleDone := s.UpNext == winHi && !s.Up.Valid
-			if cycleDone || s.Timer > c.Budget() {
-				s.Reset = true
-				s.flush(winLo)
+			if c.RestOK && cycleDone {
+				// Rest: park at the cycle end; the watchdog ticks in place.
+				s.Timer = IdleTimerTick(s.Timer, c.Budget())
+			} else {
+				s.Timer++
+				if cycleDone || s.Timer > c.Budget() {
+					s.Reset = true
+					s.flush(winLo)
+				}
 			}
 		}
 	} else {
@@ -230,6 +248,53 @@ func StepInto(dst *State, old *State, c *Ctx) {
 			}
 		}
 	}
+}
+
+// IdleTimerTick advances a resting part root's watchdog by one round:
+// modular arithmetic over the wrap period budget+1, normalized into
+// [0, budget] from any (even adversarial) starting value. Defined as pure
+// modular addition — not increment-then-compare — so that k applications
+// have the closed form IdleTimerAdvance(t, budget, k) exactly.
+//
+//ssmst:hotpath
+func IdleTimerTick(timer, budget int) int {
+	return IdleTimerAdvance(timer, budget, 1)
+}
+
+// IdleTimerAdvance is the k-round closed form of IdleTimerTick: it equals k
+// iterated single ticks, in O(1), for every k ≥ 1 from any (even
+// adversarial) starting value, and for k = 0 from any in-range value (a
+// single tick normalizes an out-of-range timer into [0, budget]; advancing
+// by zero rounds from one is the only case with no tick to normalize
+// through, and the engine never advances by zero). Worklist stepping
+// (internal/runtime) uses it to advance a skipped resting node's watchdog
+// lazily.
+//
+//ssmst:hotpath
+func IdleTimerAdvance(timer, budget, k int) int {
+	m := budget + 1
+	if m < 1 {
+		m = 1
+	}
+	t := (timer + k%m) % m
+	if t < 0 {
+		t += m
+	}
+	return t
+}
+
+// AtRest reports whether a train state is at its idle fixed point for the
+// given labels: convergecast drained (cursor parked at the window end, no
+// car in flight) and no reset wave in progress. An empty train (K == 0) is
+// at rest iff it holds the zero state its step pins it to. A network whose
+// trains are all at rest performs no train state changes except the part
+// roots' peer-invisible watchdog ticks — the precondition for the
+// verifier's coast regime.
+func AtRest(s *State, l *Labels) bool {
+	if l.K == 0 {
+		return *s == State{}
+	}
+	return !s.Up.Valid && s.UpNext == l.PosStart+l.SubCnt && !s.Reset && !s.ResetAck
 }
 
 // flush clears the convergecast machinery during a reset.

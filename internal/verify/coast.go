@@ -1,0 +1,362 @@
+package verify
+
+import (
+	"ssmst/internal/bits"
+	"ssmst/internal/graph"
+	"ssmst/internal/hierarchy"
+	"ssmst/internal/runtime"
+	"ssmst/internal/train"
+)
+
+// Coast regime — the verifier's half of worklist stepping (PR 8; see
+// internal/runtime/worklist.go for the engine's half).
+//
+// A legal quiet verifier network never reaches a fixed point on its own:
+// the trains sweep forever and the sampler clocks tick every round, so a
+// naive skip-unchanged worklist would be unsound. The coast regime makes
+// quiescence a certified, opt-in protocol state instead:
+//
+//  1. Rest the trains. Once a node's tracked neighbourhood has been quiet
+//     for the horizon (Machine.CoastAfter), its train contexts carry
+//     RestOK and the part roots park at the end of a completed cycle
+//     (train.Ctx.RestOK) — the whole train reaches a per-node fixed point
+//     within one cycle budget, with only the roots' peer-invisible
+//     watchdogs still ticking.
+//  2. Certify. At the end of a normal step, a node whose round raised no
+//     alarm, whose static verdict is memoized clean, whose own and all
+//     neighbours' trains are at rest, whose tree parent is already frozen
+//     for every train it is a member of (lineageFrozen — freezing cascades
+//     root→leaf so no member can freeze into the path of a future reset
+//     wave), and whose entire sampler orbit over the frozen neighbourhood
+//     is provably alarm-free (samplerOrbitClean replays every capture and
+//     comparison the awake sweep would perform) sets Coasting: from here
+//     on its step is pure per-node clockwork.
+//  3. Coast. A coasting node's step (the coast branch of StepInto) is
+//     coastTick: the root watchdogs tick modulo their wrap and the sampler
+//     runs a capture-starvation orbit — CapTimer to the dwell window, then
+//     advanceLevel, at every level uniformly (it re-captures nothing and
+//     compares nothing; step 2 proved the comparisons it skips are clean).
+//     coastAdvance is the k-round closed form of coastTick, so a worklist
+//     engine can skip the node entirely and replay k rounds in O(1).
+//  4. Melt. Any tracked change inside the 1-hop neighbourhood — fault
+//     injection, topology churn, a label repair — fails the coast guard;
+//     the node wakes into a full step and marks itself changed, waking its
+//     own neighbours next round. A wake wave therefore spreads outward at
+//     one hop per round from every fault: detection proceeds exactly as in
+//     the always-awake verifier once the wave reaches the nodes that must
+//     observe the fault, and the region re-certifies and re-freezes after
+//     recovery plus one horizon. This one-hop-per-round wake latency is
+//     the regime's accepted cost; it is bounded by the detection-distance
+//     bounds already measured for the incremental path.
+//
+// While coasting, BitSize reports coastBits — the maximum width the state
+// attains anywhere on its coast orbit, computed once at certification — so
+// the engine's bit high-water mark is identical whether the node is stepped
+// every round (dense reference) or skipped and replayed (worklist). The
+// regime is restricted to Mode == Sync: the asynchronous sampler's
+// Want-handshake couples a node's clocks to its neighbours' service
+// decisions, which a per-node closed form cannot replay.
+
+// Quiescent implements runtime.CoastStepper: a coasting node's next step,
+// under an unchanged neighbourhood, is exactly coastTick.
+func (m *Machine) Quiescent(st runtime.State) bool {
+	s, ok := st.(*VState)
+	return ok && s.Coasting
+}
+
+// CoastAdvance implements runtime.CoastStepper: advance a coasting node's
+// clockwork by k rounds in place, in O(1) — equal to k iterated coastTicks
+// (TestCoastAdvanceMatchesTicks pins the algebra across every wrap).
+//
+//ssmst:hotpath
+func (m *Machine) CoastAdvance(st runtime.State, deg, k int) {
+	if s, ok := st.(*VState); ok {
+		m.coastAdvance(s, k)
+	}
+}
+
+// coastTick advances the coast clockwork by one round: the single-round
+// mirror of what the dense engine executes for a coasting node.
+//
+//ssmst:hotpath
+func (m *Machine) coastTick(s *VState) {
+	coastTrainTick(&s.TopS, &s.L.Train.Top, s.MyID)
+	coastTrainTick(&s.BotS, &s.L.Train.Bottom, s.MyID)
+	L := len(s.samplerLevels)
+	if L == 0 {
+		s.AskValid = false
+		return
+	}
+	if s.AskIdx < 0 || s.AskIdx >= L {
+		s.AskIdx = 0
+	}
+	w := s.StaticWindow
+	if s.AskValid {
+		s.AskTimer--
+		if s.AskTimer <= 0 {
+			s.advanceLevel(L)
+		}
+		return
+	}
+	s.CapTimer++
+	if s.CapTimer > w {
+		s.advanceLevel(L)
+	}
+}
+
+// coastAdvance is the k-round closed form of coastTick. The orbit after the
+// (at most one) in-flight dwell window expires is uniform: every level
+// costs StaticWindow+1 capture-starvation rounds, so wraps are replayed
+// with modular arithmetic instead of iterated.
+//
+//ssmst:hotpath
+func (m *Machine) coastAdvance(s *VState, k int) {
+	if k <= 0 {
+		return
+	}
+	coastTrainAdvance(&s.TopS, &s.L.Train.Top, s.MyID, k)
+	coastTrainAdvance(&s.BotS, &s.L.Train.Bottom, s.MyID, k)
+	L := len(s.samplerLevels)
+	if L == 0 {
+		s.AskValid = false
+		return
+	}
+	if s.AskIdx < 0 || s.AskIdx >= L {
+		s.AskIdx = 0
+	}
+	w := s.StaticWindow
+	if s.AskValid {
+		// Finish the in-flight dwell window. A certified state carries
+		// AskTimer ≥ 1 (the awake step's post-invariant); the t < 1 arm
+		// keeps the closed form equal to iterated ticks even from
+		// degenerate values (one tick exits such a dwell, leaving t-1 —
+		// exactly what the decrement-then-advance tick does).
+		if t := s.AskTimer; t >= 1 {
+			if k < t {
+				s.AskTimer = t - k
+				return
+			}
+			k -= t
+			s.AskTimer = 0
+		} else {
+			s.AskTimer = t - 1
+			k--
+		}
+		s.advanceLevel(L)
+		if k == 0 {
+			return
+		}
+	}
+	// Capture-starvation orbit: CapTimer runs 0..w, advanceLevel, repeat.
+	// r is the rounds until this level's timeout; the max(1, ·) clamp
+	// matches the tick from out-of-range CapTimer values (one increment
+	// past the window advances immediately).
+	p := w + 1
+	r := p - s.CapTimer
+	if r < 1 {
+		r = 1
+	}
+	if k < r {
+		s.CapTimer += k
+		return
+	}
+	k -= r
+	s.advanceLevel(L)
+	s.AskIdx = (s.AskIdx + k/p) % L
+	s.CapTimer = k % p
+}
+
+// coastTrainTick advances the train half of the coast clockwork by one
+// round: a resting part root ticks its peer-invisible watchdog (the
+// train.Ctx.RestOK branch of the awake step); members and empty trains are
+// frozen at their rest fixed point.
+//
+//ssmst:hotpath
+func coastTrainTick(st *train.State, l *train.Labels, own graph.NodeID) {
+	if l.K == 0 || l.PartRootID != own {
+		return
+	}
+	st.Timer = train.IdleTimerTick(st.Timer, l.CycleBudget())
+}
+
+// coastTrainAdvance is the k-round closed form of coastTrainTick.
+//
+//ssmst:hotpath
+func coastTrainAdvance(st *train.State, l *train.Labels, own graph.NodeID, k int) {
+	if l.K == 0 || l.PartRootID != own {
+		return
+	}
+	st.Timer = train.IdleTimerAdvance(st.Timer, l.CycleBudget(), k)
+}
+
+// coastHorizon returns the quiet-horizon length for a node: CoastAfter if
+// configured, else one complete local sampler sweep — every level of J(v)
+// at its full dwell window — plus slack for an in-flight dwell and the
+// trains' cycle. The sweep term is load-bearing for soundness, not tuning:
+// certification relies on "no alarm during the horizon" to rule out latent
+// violations, and a violation observable at this node is only guaranteed
+// to alarm once the sweep has asked about every level against the settled
+// labels. A shorter horizon lets a region melt under a fault (say a churn
+// event re-weighting an edge two hops away), go quiet again, and
+// re-certify before the sweep reaches the offending level — freezing the
+// stale comparison in forever (found by FuzzWorklistParity: a
+// ChurnWeightBreak against a frozen network went undetected under the old
+// 2×window default).
+func (m *Machine) coastHorizon(s *VState) int64 {
+	if m.CoastAfter > 0 {
+		return int64(m.CoastAfter)
+	}
+	L := len(s.samplerLevels)
+	if L < 2 {
+		L = 2
+	}
+	return int64(L+2) * int64(s.StaticWindow+1)
+}
+
+// restsAt reports the horizon-quiet predicate at the given epoch: the
+// node's tracked 1-hop neighbourhood has not changed for a full horizon.
+// It gates both the trains' RestOK and coast certification, so trains park
+// strictly before (never after) their node freezes.
+func (m *Machine) restsAt(tr Tracker, s *VState, epoch int64) bool {
+	h := m.coastHorizon(s)
+	return epoch >= h && !tr.LabelsChangedSince(epoch-h)
+}
+
+// lineageFrozen enforces the root-to-leaf certification cascade: for each
+// non-empty train this node is a member (not the part root) of, the tree
+// parent must already be Coasting. A member's trains are transiently at
+// rest every cycle — in the gap between the convergecast draining and the
+// root's next reset wave — and a member frozen in that gap would never
+// acknowledge the reset, livelocking its whole part (the root spins on
+// childrenAcked forever; train dynamics are not tracked changes, so
+// nothing melts the member). A Coasting parent chain, by induction up the
+// tree, proves the part root itself has PARKED (roots only certify parked,
+// and a parked root launches no resets until a tracked change melts it),
+// so no reset wave can ever reach the frozen member. Freezing therefore
+// cascades down the tree at one hop per round after the roots park.
+func lineageFrozen(s *VState, parent *VState) bool {
+	return trainLineageOK(&s.L.Train.Top, s.MyID, parent, true) &&
+		trainLineageOK(&s.L.Train.Bottom, s.MyID, parent, false)
+}
+
+func trainLineageOK(l *train.Labels, own graph.NodeID, parent *VState, top bool) bool {
+	if l.K == 0 || l.PartRootID == own {
+		return true
+	}
+	if parent == nil || !parent.Coasting {
+		return false
+	}
+	pl := &parent.L.Train.Bottom
+	if top {
+		pl = &parent.L.Train.Top
+	}
+	return pl.PartRootID == l.PartRootID
+}
+
+// neighboursAtRest reports whether every present neighbour's trains are
+// parked. Certification requires it so the sampler-orbit precheck below is
+// evaluated against Show buffers that are actually frozen; a neighbour
+// whose train later un-parks implies a tracked change next to it, whose
+// wake wave reaches this node before the neighbour's buffers move.
+func neighboursAtRest(nbs []nbList) bool {
+	for q := range nbs {
+		if !nbs[q].ok {
+			continue
+		}
+		st := nbs[q].st
+		if !train.AtRest(&st.TopS, &st.L.Train.Top) || !train.AtRest(&st.BotS, &st.L.Train.Bottom) {
+			return false
+		}
+	}
+	return true
+}
+
+// samplerOrbitClean replays, read-only, every capture and comparison the
+// awake sync sampler would perform over a full sweep of J(v) against the
+// frozen neighbourhood, and reports whether none of them alarms. The coast
+// clockwork skips captures and comparisons entirely; this one-time check
+// at certification is what makes that skip detection-preserving: a latent
+// violation that only some level's dwell comparisons would flag blocks the
+// node from ever freezing.
+func (m *Machine) samplerOrbitClean(v NodeView, s *VState, nbs []nbList, levels []int, n int) bool {
+	split := train.LevelSplit(n)
+	saveP, saveC := s.AskPiece, s.CandPort
+	clean := true
+	for _, j := range levels {
+		side := j >= split
+		d := &trainSide(s, side).Down
+		if !train.MemberAt(d, &s.L.HS, side, split) || d.P.ID.Level != j {
+			continue // capture starves: dwell times out without alarming
+		}
+		if s.L.HS.Roots[j] == hierarchy.RootsYes && d.P.ID.RootID != s.MyID {
+			clean = false
+			break
+		}
+		s.AskPiece = d.P
+		s.CandPort = candidatePort(s, nbs, j)
+		alarm := false
+		for q := range nbs {
+			if nbs[q].ok {
+				m.compare(v, s, nbs, q, s.CandPort, split, &alarm)
+			}
+		}
+		if alarm {
+			clean = false
+			break
+		}
+	}
+	s.AskPiece, s.CandPort = saveP, saveC
+	return clean
+}
+
+// coastFootprint returns the maximum BitSize the state attains anywhere on
+// its coast orbit: frozen fields at their current width, orbiting clocks at
+// their orbit maximum (CapTimer ≤ dwell window, AskIdx < len(levels), root
+// watchdogs ≤ cycle budget, CandPort down to -1 after the first
+// advanceLevel). Measured once at certification and returned by BitSize
+// while Coasting, so dense per-round re-measurement and worklist
+// endpoint-only measurement report the identical high-water mark.
+func (m *Machine) coastFootprint(s *VState) int {
+	if !s.labelBitsOK {
+		s.labelBits = s.L.BitSize()
+		s.labelBitsOK = true
+	}
+	w := s.StaticWindow
+	L := len(s.samplerLevels)
+	return bits.Flag(s.AskValid) + bits.Flag(s.Want.Valid) + bits.Flag(s.AlarmFlag) +
+		bits.Flag(s.Coasting) +
+		s.AlarmCode.BitSize() +
+		bits.ForInt(int64(s.MyID)) +
+		bits.ForInt(int64(s.ParentPort)) +
+		s.labelBits +
+		coastTrainBits(&s.TopS, &s.L.Train.Top, s.MyID) +
+		coastTrainBits(&s.BotS, &s.L.Train.Bottom, s.MyID) +
+		maxBitsInt(int64(s.AskIdx), int64(L-1)) +
+		pieceSize(s.AskPiece) +
+		bits.ForInt(int64(s.AskTimer)) +
+		maxBitsInt(int64(s.CapTimer), int64(w)) +
+		bits.ForInt(int64(s.ServerCur)) +
+		bits.ForInt(int64(s.ServerTmr)) +
+		bits.ForInt(int64(s.Want.ServerID)) + bits.ForInt(int64(s.Want.Level)) +
+		maxBitsInt(int64(s.CandPort), -1)
+}
+
+// coastTrainBits is train.State.BitSize with the one orbiting field — a
+// resting root's watchdog Timer — taken at its orbit maximum (the cycle
+// budget); every other field is frozen at rest.
+func coastTrainBits(st *train.State, l *train.Labels, own graph.NodeID) int {
+	b := st.BitSize()
+	if l.K != 0 && l.PartRootID == own {
+		b += maxBitsInt(int64(st.Timer), int64(l.CycleBudget())) - bits.ForInt(int64(st.Timer))
+	}
+	return b
+}
+
+// maxBitsInt returns the wider of the two values' encodings.
+func maxBitsInt(a, b int64) int {
+	wa, wb := bits.ForInt(a), bits.ForInt(b)
+	if wa > wb {
+		return wa
+	}
+	return wb
+}

@@ -1,0 +1,133 @@
+package verify
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ssmst/internal/graph"
+)
+
+// The coast clockwork's load-bearing algebra: advancing a coasting node by
+// k rounds in one closed-form CoastAdvance must equal k iterated single
+// coastTicks, for every k and from every starting state — including the
+// wrap boundaries (dwell expiry, capture timeout, level wrap, watchdog
+// wrap) and degenerate out-of-range timer values. The worklist engine's
+// soundness reduces to exactly this identity.
+
+// tickOrbit returns the state after k iterated coastTicks from s. States
+// are value copies sharing the label pointers (tick and advance mutate
+// scalars only), so the memoized samplerLevels list stays attached —
+// Clone would drop it and degenerate the orbit to the L == 0 path.
+func tickOrbit(m *Machine, s *VState, k int) *VState {
+	c := *s
+	for i := 0; i < k; i++ {
+		m.coastTick(&c)
+	}
+	return &c
+}
+
+func advanceOrbit(m *Machine, s *VState, k int) *VState {
+	c := *s
+	m.coastAdvance(&c, k)
+	return &c
+}
+
+// orbitSpan returns a k horizon covering several full orbits of s: dwell +
+// all levels' capture-starvation periods + watchdog wraps, doubled.
+func orbitSpan(s *VState) int {
+	L := len(s.samplerLevels)
+	if L == 0 {
+		L = 1
+	}
+	return 2*L*(s.StaticWindow+1) + 2*s.AskTimer + 64
+}
+
+func checkOrbit(t *testing.T, m *Machine, tag string, s *VState) {
+	t.Helper()
+	span := orbitSpan(s)
+	for k := 0; k <= span; k++ {
+		want := tickOrbit(m, s, k)
+		got := advanceOrbit(m, s, k)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: advance(%d) != tick^%d\n tick %+v\n adv  %+v", tag, k, k, want, got)
+		}
+	}
+	// Compositionality at a few split points: advance(a);advance(b) ==
+	// advance(a+b) — the worklist engine materializes in arbitrary chunks.
+	for _, a := range []int{1, 7, s.StaticWindow, s.StaticWindow + 1, span / 2} {
+		b := span - a
+		if b < 0 {
+			continue
+		}
+		split := advanceOrbit(m, s, a)
+		m.coastAdvance(split, b)
+		if whole := advanceOrbit(m, s, span); !reflect.DeepEqual(whole, split) {
+			t.Fatalf("%s: advance(%d)+advance(%d) != advance(%d)", tag, a, b, span)
+		}
+	}
+}
+
+// TestCoastAdvanceMatchesTicks checks the identity on real certified states
+// harvested from a settled network — every node, so the sweep covers part
+// roots (live watchdogs), members, leaves, and every sampler level count
+// the instance produces.
+func TestCoastAdvanceMatchesTicks(t *testing.T) {
+	g := graph.RandomConnected(48, 110, 77)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewWorklistRunner(l, 5)
+	budget := DetectionBudget(g.N())
+	frozen := false
+	for i := 0; i < budget; i++ {
+		r.Step()
+		if r.Eng.LastActive() == 0 {
+			frozen = true
+			break
+		}
+	}
+	if !frozen {
+		t.Fatal("network never froze")
+	}
+	for v := 0; v < g.N(); v++ {
+		s := r.Eng.State(v).(*VState)
+		if !s.Coasting {
+			t.Fatalf("node %d awake after freeze", v)
+		}
+		checkOrbit(t, r.Machine, fmt.Sprintf("node %d", v), s)
+	}
+}
+
+// TestCoastAdvanceMatchesTicksSynthetic drives the identity through states
+// a certified node never reaches — mid-dwell entry points, out-of-range
+// timers and cursors as a corruptor could leave them — pinning that the
+// closed form is total, not merely correct on the reachable orbit.
+func TestCoastAdvanceMatchesTicksSynthetic(t *testing.T) {
+	m := &Machine{}
+	base := &VState{MyID: 9, L: &NodeLabels{}, StaticWindow: 5}
+	for _, L := range []int{0, 1, 3} {
+		levels := make([]int, L)
+		for i := range levels {
+			levels[i] = i
+		}
+		for _, askValid := range []bool{false, true} {
+			for _, askTimer := range []int{-3, 0, 1, 2, 6} {
+				for _, capTimer := range []int{-2, 0, 3, 5, 9} {
+					for _, askIdx := range []int{-1, 0, L - 1, L + 3} {
+						s := *base
+						s.samplerLevels = levels
+						s.AskValid = askValid
+						s.AskTimer = askTimer
+						s.CapTimer = capTimer
+						s.AskIdx = askIdx
+						tag := fmt.Sprintf("L=%d valid=%v ask=%d cap=%d idx=%d",
+							L, askValid, askTimer, capTimer, askIdx)
+						checkOrbit(t, m, tag, &s)
+					}
+				}
+			}
+		}
+	}
+}

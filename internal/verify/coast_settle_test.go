@@ -1,0 +1,97 @@
+package verify
+
+import (
+	"testing"
+
+	"ssmst/internal/graph"
+)
+
+// settleBudget is a generous bound on the rounds a quiet legal network
+// needs to freeze completely: one horizon for RestOK to fire, one cycle
+// budget for the trains to park, and slack for certification to ripple.
+func settleBudget(r *Runner) int {
+	return DetectionBudget(r.Labeled.G.N())
+}
+
+// TestWorklistQuietReachesCoast is the regime's keystone liveness fact: a
+// quiet legal network under coast mode freezes completely — every node
+// certifies Coasting, the worklist frontier drains to zero, and from then
+// on StepsTaken stops advancing (quiet rounds cost 0 machine steps).
+func TestWorklistQuietReachesCoast(t *testing.T) {
+	for _, n := range []int{24, 96} {
+		g := graph.RandomConnected(n, 2*n, int64(100+n))
+		l, err := Mark(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewWorklistRunner(l, 7)
+		budget := settleBudget(r)
+		settled := -1
+		for i := 0; i < budget; i++ {
+			r.Step()
+			if _, bad := r.Eng.AnyAlarm(); bad {
+				t.Fatalf("n=%d: false alarm during settle at round %d", n, i+1)
+			}
+			if r.Eng.LastActive() == 0 {
+				settled = i + 1
+				break
+			}
+		}
+		if settled < 0 {
+			coasting := 0
+			for i := 0; i < n; i++ {
+				if r.Eng.State(i).(*VState).Coasting {
+					coasting++
+				}
+			}
+			t.Fatalf("n=%d: frontier never drained within %d rounds (last active=%d, coasting=%d/%d)",
+				n, budget, r.Eng.LastActive(), coasting, n)
+		}
+		for i := 0; i < n; i++ {
+			if !r.Eng.State(i).(*VState).Coasting {
+				t.Fatalf("n=%d: node %d awake after frontier drained", n, i)
+			}
+		}
+		// Quiet rounds are free: no machine steps, no frontier.
+		before := r.Eng.StepsTaken()
+		r.Eng.RunSyncRounds(50)
+		if got := r.Eng.StepsTaken() - before; got != 0 {
+			t.Fatalf("n=%d: %d machine steps over 50 quiet coasted rounds, want 0", n, got)
+		}
+		if _, bad := r.Eng.AnyAlarm(); bad {
+			t.Fatalf("n=%d: alarm while coasting", n)
+		}
+		t.Logf("n=%d settled (frontier empty) after %d rounds", n, settled)
+	}
+}
+
+// TestCoastMeltRedetects melts a frozen network with a fault and checks the
+// wake wave reaches detection: coast must not cost soundness, only the
+// one-hop-per-round wake latency.
+func TestCoastMeltRedetects(t *testing.T) {
+	g := graph.RandomConnected(64, 128, 11)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewWorklistRunner(l, 3)
+	budget := settleBudget(r)
+	frozen := false
+	for i := 0; i < budget; i++ {
+		r.Step()
+		if r.Eng.LastActive() == 0 {
+			frozen = true
+			break
+		}
+	}
+	if !frozen {
+		t.Fatalf("network never froze within %d rounds", budget)
+	}
+	// A label fault at a frozen node must melt and alarm.
+	r.Inject(17, func(s *VState) { s.L.SP.Dist += 3 })
+	rounds, _, detected := r.RunUntilAlarm(2 * budget)
+	if !detected {
+		t.Fatalf("fault at frozen node undetected within %d rounds", 2*budget)
+	}
+	t.Logf("melt detection after %d rounds", rounds)
+}

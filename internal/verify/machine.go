@@ -57,6 +57,16 @@ type VState struct {
 	// quiet); exposed for experiments and diagnostics.
 	AlarmCode AlarmCode
 
+	// Coasting marks the certified-quiescent regime of coast mode (see
+	// coast.go): the node's step is pure clockwork until a tracked
+	// neighbourhood change melts it. It is a protocol mode flag and is
+	// counted in BitSize. CoastEpoch is the epoch the certification was
+	// stamped at (an engine-clock memo, like StaticEpoch); coastBits is the
+	// memoized orbit-maximum BitSize reported while coasting.
+	Coasting   bool
+	CoastEpoch int64 //ssmst:nobits -- engine-clock certification stamp
+	coastBits  int   //ssmst:nobits -- recomputable orbit-footprint memo
+
 	// Memoized static-layer verdict (incremental verification; see the
 	// package doc). The static label checks — neighbour presence, SP, size,
 	// hierarchy strings, train position labels — are a deterministic
@@ -153,6 +163,11 @@ func (s *VState) InvalidateMemo() {
 	s.labelBitsOK = false
 	s.samplerLevels = nil
 	s.samplerMemoOK = false
+	// Injected, cloned or topology-touched states start awake: the coast
+	// certification was computed over content that may no longer exist.
+	s.Coasting = false
+	s.CoastEpoch = 0
+	s.coastBits = 0
 }
 
 // RemapPorts implements runtime.PortRemapper: after a topology mutation
@@ -226,6 +241,13 @@ func (s *VState) copyFromKeepingLabels(src *VState) {
 // O(log n) label walk is paid once per label change instead of once per
 // round (every mutation path resets the memo — see InvalidateMemo).
 func (s *VState) BitSize() int {
+	if s.Coasting && s.coastBits > 0 {
+		// Coast mode: report the memoized orbit maximum (coastFootprint).
+		// Constant while coasting, so a worklist engine that measures only
+		// at certification and wake sees the same high-water mark as the
+		// dense engine re-measuring every round.
+		return s.coastBits
+	}
 	if !s.labelBitsOK {
 		s.labelBits = s.L.BitSize()
 		s.labelBitsOK = true
@@ -234,6 +256,7 @@ func (s *VState) BitSize() int {
 	// every node every round. Each flag is counted through bits.Flag
 	// (inlined to 1) so bitsizeaudit can tie the accounting to the fields.
 	return bits.Flag(s.AskValid) + bits.Flag(s.Want.Valid) + bits.Flag(s.AlarmFlag) +
+		bits.Flag(s.Coasting) +
 		s.AlarmCode.BitSize() +
 		bits.ForInt(int64(s.MyID)) +
 		bits.ForInt(int64(s.ParentPort)) +
@@ -261,6 +284,7 @@ func pieceSize(p hierarchy.Piece) int {
 var (
 	_ runtime.Machine         = (*Machine)(nil)
 	_ runtime.InPlaceStepper  = (*Machine)(nil)
+	_ runtime.CoastStepper    = (*Machine)(nil)
 	_ runtime.Alarmer         = (*VState)(nil)
 	_ runtime.MemoInvalidator = (*VState)(nil)
 	_ runtime.PortRemapper    = (*VState)(nil)
@@ -302,6 +326,20 @@ type Machine struct {
 	// configuration incremental runs are measured against and compared to
 	// (the two are bit-identical in every protocol-visible field).
 	FullRecheck bool
+
+	// Coast opts into the coast regime (see coast.go): trains park after a
+	// quiet horizon and certified nodes freeze into pure clockwork, giving
+	// a worklist engine an O(active + Δ) quiet round. Off by default — the
+	// default trajectories are bit-identical to pre-coast builds. Requires
+	// Mode == Sync and incremental tracking; ignored under FullRecheck or
+	// trackerless views.
+	Coast bool
+	// CoastAfter overrides the quiet horizon in rounds before trains park
+	// and nodes certify (0 = per-node default: a full sampler sweep, see
+	// coastHorizon). Overriding below a full sweep trades detection of
+	// latent violations for faster freezing — acceptable only in tests
+	// that compare engine configurations against each other.
+	CoastAfter int
 
 	// staticRecomputes counts static-layer recomputations (memo misses)
 	// across all nodes and rounds — the observable that incremental tests
@@ -471,6 +509,23 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	if tracked {
 		epoch = tr.StepEpoch()
 	}
+	coastOn := tracked && m.Coast && !m.FullRecheck && m.Mode == Sync
+	if coastOn && old.Coasting && !tr.LabelsChangedSince(old.CoastEpoch) {
+		// Coast branch: the node is certified quiescent and nothing tracked
+		// in its 1-hop neighbourhood changed since certification — its step
+		// is pure clockwork (coast.go). This is exactly what a worklist
+		// engine replays in closed form when it skips the node, so dense and
+		// sparse stepping are bit-identical by construction.
+		if dst.StaticValid && dst.L != nil && dst.MyID == old.MyID &&
+			dst.StaticEpoch <= epoch && !tr.LabelsChangedSince(dst.StaticEpoch) {
+			dst.copyFromKeepingLabels(old)
+		} else {
+			m.labelCopies.Add(1)
+			dst.CopyFrom(old)
+		}
+		m.coastTick(dst)
+		return dst
+	}
 	// Memo-hit label-copy elision. dst is the recycled two-rounds-old state
 	// of this same node; its label block is bit-identical to old's exactly
 	// when no tracked (label) change touched the neighbourhood since dst's
@@ -498,6 +553,18 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 		dst.CopyFrom(old)
 	}
 	s := dst
+	if s.Coasting {
+		// Melt: a tracked change reached the neighbourhood (or coast mode
+		// was disabled) — wake into a full step and mark the wake itself, so
+		// neighbouring coasters melt one hop further next round (detection
+		// liveness: the wave reaches every node that must observe a fault).
+		s.Coasting = false
+		s.CoastEpoch = 0
+		s.coastBits = 0
+		if tracked {
+			tr.MarkLabelsChanged()
+		}
+	}
 	alarm := false
 	code := AlarmNone
 	setAlarm := func(c AlarmCode) {
@@ -652,6 +719,8 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 		}
 	}
 	ctT, ctB := m.trainCtxs(sc, s, nbs, parent)
+	restOK := coastOn && m.restsAt(tr, s, epoch)
+	ctT.RestOK, ctB.RestOK = restOK, restOK
 	train.StepInto(&s.TopS, &old.TopS, ctT)
 	train.StepInto(&s.BotS, &old.BotS, ctB)
 	if s.TopS.Alarm || s.BotS.Alarm {
@@ -688,6 +757,21 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 
 	s.AlarmFlag = alarm
 	s.AlarmCode = code
+
+	// Coast certification (coast.go): an alarm-free node whose horizon is
+	// quiet, whose memos are settled, whose own and neighbours' trains are
+	// parked, and whose whole sampler orbit is provably clean against the
+	// frozen neighbourhood freezes into clockwork.
+	if restOK && !alarm && !s.Coasting && s.StaticValid && !s.StaticAlarm &&
+		s.samplerMemoOK &&
+		train.AtRest(&s.TopS, &s.L.Train.Top) && train.AtRest(&s.BotS, &s.L.Train.Bottom) &&
+		lineageFrozen(s, parent) &&
+		neighboursAtRest(nbs) &&
+		m.samplerOrbitClean(v, s, nbs, levels, n) {
+		s.Coasting = true
+		s.CoastEpoch = epoch
+		s.coastBits = m.coastFootprint(s)
+	}
 	return s
 }
 

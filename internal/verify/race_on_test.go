@@ -1,0 +1,7 @@
+//go:build race
+
+package verify
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation- and timing-sensitive gates skip under it.
+const raceEnabled = true

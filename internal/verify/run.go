@@ -59,6 +59,29 @@ func newRunner(l *Labeled, mode Mode, seed int64, clonePath, fullRecheck bool) *
 	return &Runner{Labeled: l, Machine: m, Eng: eng, Async: mode == Async}
 }
 
+// NewCoastRunner is NewRunner (Sync mode) with the coast regime enabled but
+// DENSE stepping kept: every node is still visited every round, coasting
+// nodes through the clockwork branch. This is the full-sweep reference
+// configuration the worklist engine is differentially tested against — the
+// two run identical machine code and must be bit-identical everywhere.
+func NewCoastRunner(l *Labeled, seed int64) *Runner {
+	r := newRunner(l, Sync, seed, false, false)
+	r.Machine.Coast = true
+	return r
+}
+
+// NewWorklistRunner is NewCoastRunner with sparse active-set stepping
+// (runtime.Engine.Worklist): quiet rounds step only the frontier, skipped
+// coasting nodes are replayed in closed form, making round cost
+// O(active + Δ) instead of O(n). Verdicts, detection rounds, alarm traces
+// and MaxStateBits are bit-identical to NewCoastRunner by construction
+// (worklist_parity_test.go, FuzzWorklistParity).
+func NewWorklistRunner(l *Labeled, seed int64) *Runner {
+	r := NewCoastRunner(l, seed)
+	r.Eng.Worklist = true
+	return r
+}
+
 // DetectionBudget bounds the detection time promised by Theorem 8.5 for a
 // correct-label instance of n nodes: a full Ask sweep (levels × dwell) plus
 // train stabilization, with slack. Synchronous shape: O(log² n).

@@ -49,3 +49,33 @@ func TestFacadeSelfStabilizing(t *testing.T) {
 		t.Fatal("output not MST")
 	}
 }
+
+// TestFacadeWorklist pins the PR 8 surface: a worklist verifier freezes a
+// correct instance into zero-cost quiet rounds, and a corrupted register
+// melts it back awake and is detected within the Theorem 8.5 budget.
+func TestFacadeWorklist(t *testing.T) {
+	g := RandomGraph(48, 110, 7)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifierWorklist(l, 1)
+	budget := DetectionBudget(g.N())
+	froze := false
+	for i := 0; i < budget && !froze; i++ {
+		v.Step()
+		froze = v.Eng.LastActive() == 0
+	}
+	if !froze {
+		t.Fatal("worklist network never froze")
+	}
+	steps := v.Eng.StepsTaken()
+	v.Eng.RunSyncRounds(25)
+	if got := v.Eng.StepsTaken() - steps; got != 0 {
+		t.Fatalf("%d machine steps over 25 quiet rounds, want 0", got)
+	}
+	v.Inject(5, func(s *VState) { s.L.SP.Dist += 3 })
+	if _, _, detected := v.RunUntilAlarm(2 * budget); !detected {
+		t.Fatal("worklist verifier missed the corruption")
+	}
+}
