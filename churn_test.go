@@ -2,6 +2,7 @@ package ssmst
 
 import (
 	"math/rand"
+	"ssmst/internal/raceflag"
 	"testing"
 )
 
@@ -55,7 +56,7 @@ func TestApplyChurnFacade(t *testing.T) {
 // allocation-free with zero label copies — the mutation invalidates exactly
 // the touched region and the fast paths resume.
 func TestChurnQuietAllocFree(t *testing.T) {
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("allocation counts are perturbed under -race")
 	}
 	g := RandomGraph(192, 480, 6)

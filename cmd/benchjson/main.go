@@ -34,6 +34,18 @@
 // contract — a quiet round must not scale with n), enforced on every run
 // unless SSMST_BENCH_SKIP_GUARD is set.
 //
+// The multi-core rows (PR 9) are the first scaling table across cores: the
+// dense incremental quiet round ("mc-quiet") and the wall time of a full
+// churn-detection episode ("mc-detect"), each at n ∈ {4096, 16384, 65536}
+// with GOMAXPROCS pinned per row to the values of -gomaxprocs (default
+// "1,4,8") and the engine's fan-out capped to match — every row carries its
+// "gomaxprocs" column, so successive trajectory files compare like for
+// like. Counts above runtime.NumCPU() are skipped with a message (a pinned
+// oversubscribed row would measure scheduler thrash, not the engine), and
+// multi-worker rows require NumCPU ≥ 4. The mc-detect round count is
+// barrier-deterministic, so it must agree across the worker counts of one
+// run — checked on every run — and reproduce any baseline row exactly.
+//
 // -out has no default: every caller (CI included) names its own snapshot
 // explicitly. With -baseline the command additionally guards against
 // perf regressions: it compares the freshly measured incremental quiet
@@ -57,6 +69,8 @@ import (
 	"log"
 	"os"
 	gort "runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"ssmst/internal/core"
@@ -86,6 +100,14 @@ type Result struct {
 	// of the guarded instance — the perf baseline the distributed
 	// verifier's round costs are read against.
 	OracleNs int64 `json:"oracle_ns,omitempty"`
+	// GoMaxProcs is the pinned scheduler width of a multi-core row
+	// ("mc-quiet", "mc-detect"); 0 on the single-core rows, whose
+	// effective value is the report-level field. Guards must match rows on
+	// (n, path, gomaxprocs), never compare across widths.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// DetectNs is set on the "mc-detect" rows: wall time of the whole
+	// detection episode (fault to first alarm) at the row's width.
+	DetectNs int64 `json:"detect_ns,omitempty"`
 }
 
 // Report is the file schema.
@@ -111,6 +133,7 @@ func main() {
 	rounds := flag.Int("rounds", 30, "measured rounds per configuration")
 	baseline := flag.String("baseline", "", "committed baseline report to guard against (optional)")
 	maxRegress := flag.Float64("maxregress", 0.25, "allowed fractional ns/round regression on the guarded row")
+	gomaxprocs := flag.String("gomaxprocs", "1,4,8", "comma-separated GOMAXPROCS values for the multi-core rows")
 	flag.Parse()
 	if *out == "" {
 		log.Fatal("benchjson: -out is required (e.g. -out BENCH_pr4.json); the trajectory file is named per PR, never defaulted")
@@ -191,6 +214,61 @@ func main() {
 				log.Fatalf("benchjson: quiet-coast n=%d %s: network never fully certified", n, cfg.path)
 			}
 			rep.Results = append(rep.Results, Result{N: n, Path: cfg.path, RoundCost: &cost})
+		}
+	}
+
+	// Multi-core rows (PR 9): the dense incremental quiet round and the
+	// detection-episode wall time across scheduler widths. GOMAXPROCS is
+	// pinned per row (and restored afterwards — the rest of the report is
+	// measured at the process default); the engine's fan-out is capped to
+	// the same count, so a row prices exactly the width it is labelled with.
+	widths, err := parseWidths(*gomaxprocs)
+	if err != nil {
+		log.Fatalf("benchjson: -gomaxprocs: %v", err)
+	}
+	defaultProcs := gort.GOMAXPROCS(0)
+	for _, k := range widths {
+		switch {
+		case k > 1 && gort.NumCPU() < 4:
+			fmt.Printf("bench: mc rows at gomaxprocs=%d skipped: multi-core rows need NumCPU >= 4 (have %d)\n", k, gort.NumCPU())
+			continue
+		case k > gort.NumCPU():
+			fmt.Printf("bench: mc rows at gomaxprocs=%d skipped: only %d CPUs (a pinned oversubscribed row measures scheduler thrash, not the engine)\n", k, gort.NumCPU())
+			continue
+		}
+		gort.GOMAXPROCS(k)
+		for _, n := range []int{4096, 16384, 65536} {
+			g := graph.RandomConnected(n, 3*n, 1)
+			l, err := verify.Mark(g)
+			if err != nil {
+				log.Fatalf("mc mark n=%d: %v", n, err)
+			}
+			cost := core.MeasureMultiCoreRound(g, l, k, *rounds, 1)
+			rep.Results = append(rep.Results, Result{N: n, Path: "mc-quiet", GoMaxProcs: k, RoundCost: &cost})
+			det, ok := core.MeasureMultiCoreDetection(n, k, 1)
+			if !ok {
+				log.Fatalf("benchjson: mc-detect n=%d gomaxprocs=%d: no alarm within budget", n, k)
+			}
+			rep.Results = append(rep.Results, Result{
+				N: n, Path: "mc-detect", GoMaxProcs: k,
+				DetectRounds: det.DetectRounds, DetectNs: det.DetectNs,
+			})
+		}
+		gort.GOMAXPROCS(defaultProcs)
+	}
+	// Synchronous rounds are barrier-deterministic: the detection round
+	// count of one instance must not vary with the scheduler width. A
+	// mismatch inside a single run means the parallel step leaked
+	// nondeterminism — fatal regardless of any baseline.
+	for _, row := range rep.Results {
+		if row.Path != "mc-detect" {
+			continue
+		}
+		for _, other := range rep.Results {
+			if other.Path == "mc-detect" && other.N == row.N && other.DetectRounds != row.DetectRounds {
+				log.Fatalf("benchjson: mc-detect n=%d: detection took %d rounds at gomaxprocs=%d but %d at gomaxprocs=%d — parallel stepping is nondeterministic",
+					row.N, row.DetectRounds, row.GoMaxProcs, other.DetectRounds, other.GoMaxProcs)
+			}
 		}
 	}
 
@@ -358,10 +436,86 @@ func main() {
 			}
 			fmt.Printf("bench guard: %d campaign rows match baseline\n", len(baseCampaign))
 		}
+		// Multi-core rows compare strictly like for like: a baseline row is
+		// matched on (n, path, gomaxprocs) and checked only when the fresh
+		// run measured the same cell — rows the baseline predates (or this
+		// host could not measure: fewer CPUs, narrower -gomaxprocs) are
+		// skipped with a message, never compared against zero values.
+		mcChecked, mcSkipped := 0, 0
+		for i := range base.Results {
+			want := &base.Results[i]
+			if want.Path != "mc-quiet" && want.Path != "mc-detect" {
+				continue
+			}
+			got := findMCRow(&rep, want.Path, want.N, want.GoMaxProcs)
+			if got == nil {
+				fmt.Printf("bench guard: baseline row (%s, n=%d, gomaxprocs=%d) not measured in this run; comparison skipped\n",
+					want.Path, want.N, want.GoMaxProcs)
+				mcSkipped++
+				continue
+			}
+			mcChecked++
+			switch want.Path {
+			case "mc-detect":
+				if got.DetectRounds != want.DetectRounds {
+					log.Fatalf("bench guard: mc-detect n=%d gomaxprocs=%d: %d rounds vs baseline %d (deterministic; a change means the detection pipeline behaves differently)",
+						want.N, want.GoMaxProcs, got.DetectRounds, want.DetectRounds)
+				}
+			case "mc-quiet":
+				if want.RoundCost == nil || got.RoundCost == nil {
+					log.Fatalf("bench guard: mc-quiet n=%d gomaxprocs=%d: row carries no cost block", want.N, want.GoMaxProcs)
+				}
+				limit := float64(want.NsPerRound) * (1 + *maxRegress)
+				if float64(got.NsPerRound) > limit {
+					log.Fatalf("bench guard: mc-quiet n=%d gomaxprocs=%d regression: %d ns/round exceeds baseline %d by more than %.0f%%",
+						want.N, want.GoMaxProcs, got.NsPerRound, want.NsPerRound, 100**maxRegress)
+				}
+			}
+		}
+		if mcChecked > 0 || mcSkipped > 0 {
+			fmt.Printf("bench guard: %d multi-core rows match baseline (%d skipped)\n", mcChecked, mcSkipped)
+		} else {
+			fmt.Printf("bench guard: baseline %s has no multi-core rows (predates the PR 9 scaling table); mc comparison skipped\n", *baseline)
+		}
 		if findRow(&rep, "oracle") == nil {
 			log.Fatalf("bench guard: measurement produced no (n=%d, oracle) baseline row", guardN)
 		}
 	}
+}
+
+// parseWidths parses the -gomaxprocs list: positive integers, de-duplicated,
+// order preserved.
+func parseWidths(s string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("%q is not a positive worker count", part)
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func findMCRow(r *Report, path string, n, procs int) *Result {
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Path == path && res.N == n && res.GoMaxProcs == procs {
+			return res
+		}
+	}
+	return nil
 }
 
 // campaignRows collects every campaign k-sweep row of a report.

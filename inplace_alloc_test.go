@@ -1,6 +1,7 @@
 package ssmst
 
 import (
+	"ssmst/internal/raceflag"
 	"testing"
 
 	"ssmst/internal/graph"
@@ -16,7 +17,7 @@ import (
 // allocations. BenchmarkEngineScaling reports the same quantity; this test
 // makes it a hard gate.
 func TestDetectionPipelineAllocFree(t *testing.T) {
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("allocation counts are perturbed under -race")
 	}
 	g := graph.RandomConnected(192, 480, 4)

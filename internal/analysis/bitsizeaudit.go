@@ -18,33 +18,54 @@ import (
 // field out (bits.Flag(s.AskValid), s.AlarmCode.BitSize(), ...) — the
 // bits helpers inline to constants, so the accounting stays free at run
 // time while becoming auditable at build time.
+//
+// Reads are collected through same-package callees too, to a bounded call
+// depth (bitSizeCallDepth): since the PR 9 lane flattening, BitSize bodies
+// share their width formula with the engine's lane measurement via a helper
+// (VState.BitSize → ensureHot + bitSizeFlat), so the fields the formula
+// reads are reads of the method for accounting purposes. The expansion is
+// intra-package and declaration-based — foreign calls (bits.ForInt,
+// embedded BitSizes) still count only through the selector that spells the
+// field at the call site.
 var BitSizeAudit = &Analyzer{
 	Name: "bitsizeaudit",
-	Doc:  "every persistent field of a BitSize-bearing struct must be read by BitSize or annotated //ssmst:nobits",
+	Doc:  "every persistent field of a BitSize-bearing struct must be read by BitSize (directly or through same-package helpers) or annotated //ssmst:nobits",
 	Run:  runBitSizeAudit,
 }
+
+// bitSizeCallDepth bounds the callee expansion: the method body itself,
+// plus helpers, plus helpers-of-helpers. Deep enough for the shared-formula
+// split (BitSize → bitSizeFlat, BitSize → ensureHot), shallow enough that
+// the audit cannot wander off into the protocol code.
+const bitSizeCallDepth = 3
 
 func runBitSizeAudit(pass *Pass) error {
 	// Struct declarations of this package, keyed by their type object, so
 	// the method check can reach field annotations.
 	structDecls := map[*types.TypeName]*ast.StructType{}
+	// Function and method declarations, keyed by their func object, so the
+	// audit can expand same-package calls into their bodies.
+	funcDecls := map[*types.Func]*ast.FuncDecl{}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if fo, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok && d.Body != nil {
+					funcDecls[fo] = d
 				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
-					structDecls[tn] = st
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						structDecls[tn] = st
+					}
 				}
 			}
 		}
@@ -55,13 +76,47 @@ func runBitSizeAudit(pass *Pass) error {
 			if !ok || fn.Body == nil || fn.Name.Name != "BitSize" || fn.Recv == nil {
 				continue
 			}
-			pass.auditBitSize(fn, structDecls)
+			pass.auditBitSize(fn, structDecls, funcDecls)
 		}
 	}
 	return nil
 }
 
-func (p *Pass) auditBitSize(fn *ast.FuncDecl, structDecls map[*types.TypeName]*ast.StructType) {
+// expandBodies returns fn's body plus the bodies of same-package functions
+// it calls, transitively to bitSizeCallDepth, each at most once.
+func (p *Pass) expandBodies(fn *ast.FuncDecl, funcDecls map[*types.Func]*ast.FuncDecl) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	seen := map[*ast.FuncDecl]bool{}
+	var visit func(f *ast.FuncDecl, depth int)
+	visit = func(f *ast.FuncDecl, depth int) {
+		if f == nil || f.Body == nil || seen[f] || depth > bitSizeCallDepth {
+			return
+		}
+		seen[f] = true
+		bodies = append(bodies, f.Body)
+		ast.Inspect(f.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var obj types.Object
+			switch fe := call.Fun.(type) {
+			case *ast.Ident:
+				obj = p.TypesInfo.Uses[fe]
+			case *ast.SelectorExpr:
+				obj = p.TypesInfo.Uses[fe.Sel]
+			}
+			if fo, ok := obj.(*types.Func); ok {
+				visit(funcDecls[fo], depth+1)
+			}
+			return true
+		})
+	}
+	visit(fn, 1)
+	return bodies
+}
+
+func (p *Pass) auditBitSize(fn *ast.FuncDecl, structDecls map[*types.TypeName]*ast.StructType, funcDecls map[*types.Func]*ast.FuncDecl) {
 	rt := p.recvType(fn)
 	if ptr, ok := rt.(*types.Pointer); ok {
 		rt = ptr.Elem()
@@ -74,7 +129,13 @@ func (p *Pass) auditBitSize(fn *ast.FuncDecl, structDecls map[*types.TypeName]*a
 	if st == nil {
 		return // non-struct receiver (enum BitSize helpers) or foreign type
 	}
-	read := p.fieldsRead(fn.Body)
+	bodies := p.expandBodies(fn, funcDecls)
+	read := map[*types.Var]bool{}
+	for _, body := range bodies {
+		for v := range p.fieldsRead(body) {
+			read[v] = true
+		}
+	}
 	for _, field := range st.Fields.List {
 		if FieldAnnotated(field, AnnNoBits) {
 			continue
@@ -91,8 +152,17 @@ func (p *Pass) auditBitSize(fn *ast.FuncDecl, structDecls map[*types.TypeName]*a
 		}
 		if len(field.Names) == 0 {
 			// Embedded field: require a read of the embedded name itself.
-			if t := p.typeOf(field.Type); t != nil && !p.embeddedRead(fn.Body, t) {
-				p.Reportf(fn.Pos(), "BitSize of %s does not account for embedded %s", named.Obj().Name(), types.TypeString(t, types.RelativeTo(p.Pkg)))
+			found := false
+			for _, body := range bodies {
+				if t := p.typeOf(field.Type); t != nil && p.embeddedRead(body, t) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				if t := p.typeOf(field.Type); t != nil {
+					p.Reportf(fn.Pos(), "BitSize of %s does not account for embedded %s", named.Obj().Name(), types.TypeString(t, types.RelativeTo(p.Pkg)))
+				}
 			}
 		}
 	}
@@ -108,9 +178,16 @@ func (p *Pass) fieldsRead(body *ast.BlockStmt) map[*types.Var]bool {
 		}
 		if selection, ok := p.TypesInfo.Selections[sel]; ok {
 			// Record the whole promotion chain, so reads through embedded
-			// structs mark the intermediate fields too.
+			// structs mark the intermediate fields too. On a method
+			// selection (s.helper(...)) the final index picks the method
+			// out of the method set, not a struct field — drop it, keeping
+			// only the embedded-field hops that led there.
+			idxs := selection.Index()
+			if selection.Kind() != types.FieldVal && len(idxs) > 0 {
+				idxs = idxs[:len(idxs)-1]
+			}
 			t := selection.Recv()
-			for _, idx := range selection.Index() {
+			for _, idx := range idxs {
 				s, ok := under(t).(*types.Struct)
 				if !ok {
 					if ptr, okp := under(t).(*types.Pointer); okp {

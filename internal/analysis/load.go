@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -131,6 +133,9 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildConstraintOK(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
@@ -155,6 +160,32 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// buildConstraintOK reports whether a file belongs to the build the
+// analyzers audit: the default, non-instrumented one. Only the target
+// platform's tags hold; every other tag — "race" above all, which gates the
+// raceflag variants — evaluates false, exactly as `go build` with no extra
+// tags would decide.
+func buildConstraintOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed constraints are the compiler's problem
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH
+			})
+		}
+	}
+	return true
 }
 
 // LoadModule loads every package of the module (skipping testdata, hidden

@@ -691,6 +691,71 @@ func MeasureVerifierRound(g *graph.Graph, l *verify.Labeled, inplace, fullRechec
 	}
 }
 
+// MeasureMultiCoreRound measures the dense incremental verifier round of
+// MeasureVerifierRound with the engine's fan-out capped at a fixed worker
+// count — the multi-core trajectory row (PR 9: the SoA lanes make the
+// per-chunk work contiguous, so this is where the layout change cashes out
+// across cores). With workers == 1 the engine's own gate keeps the round on
+// the serial loop: the 1-worker row is the honest single-core baseline, not
+// a degenerate pool run. The caller pins GOMAXPROCS to the same count so
+// the row label speaks for both the fan-out and the scheduler.
+func MeasureMultiCoreRound(g *graph.Graph, l *verify.Labeled, workers, rounds int, seed int64) RoundCost {
+	m := &verify.Machine{Mode: verify.Sync, Labeled: l}
+	e := runtime.New(g, m, seed)
+	e.Parallel = true
+	e.Workers = workers
+	e.RunSyncRounds(6)
+	var m0, m1 gort.MemStats
+	gort.ReadMemStats(&m0)
+	start := time.Now()
+	e.RunSyncRounds(rounds)
+	elapsed := time.Since(start)
+	gort.ReadMemStats(&m1)
+	return RoundCost{
+		NsPerRound:    elapsed.Nanoseconds() / int64(rounds),
+		AllocsPerRnd:  (m1.Mallocs - m0.Mallocs) / uint64(rounds),
+		BytesPerRound: (m1.TotalAlloc - m0.TotalAlloc) / uint64(rounds),
+	}
+}
+
+// MultiCoreDetection is one multi-core detection-scaling row: the wall time
+// of a whole detection episode (live MST-breaking weight flip to first
+// alarm) with the fan-out engaged. The round count rides along as a
+// determinism cross-check — synchronous rounds are barrier-deterministic,
+// so it must not vary with the worker count.
+type MultiCoreDetection struct {
+	DetectRounds int
+	DetectNs     int64
+}
+
+// MeasureMultiCoreDetection builds a fresh marked instance at n (the churn
+// event mutates the graph live, so instances cannot be shared across rows),
+// warms the incremental verifier, applies the weight-break event and times
+// the run to first alarm with the engine's fan-out capped at workers. ok is
+// false when no event could be planned, the marker failed, or the alarm
+// never fired.
+func MeasureMultiCoreDetection(n, workers int, seed int64) (MultiCoreDetection, bool) {
+	var out MultiCoreDetection
+	g := graph.RandomConnected(n, 2*n, seed)
+	l, err := verify.Mark(g)
+	if err != nil {
+		return out, false
+	}
+	r := verify.NewRunner(l, verify.Sync, seed)
+	r.Eng.Parallel = true
+	r.Eng.Workers = workers
+	r.Eng.RunSyncRounds(2*maxTrainBudget(l) + 32)
+	rng := rand.New(rand.NewSource(seed * 31))
+	if _, ok := r.ApplyChurn(verify.ChurnWeightBreak, rng); !ok {
+		return out, false
+	}
+	start := time.Now()
+	rounds, _, detected := r.RunUntilAlarm(2 * verify.DetectionBudget(n))
+	out.DetectNs = time.Since(start).Nanoseconds()
+	out.DetectRounds = rounds
+	return out, detected
+}
+
 // MeasureCoastQuietRound measures the steady-state cost of one QUIET round
 // of the coasting regime — the whole network certified frozen, nothing
 // changing — on the sparse worklist engine (worklist=true, the PR 8 path:
@@ -761,7 +826,7 @@ func settleCoasting(r *verify.Runner, n int, worklist bool) bool {
 		}
 		frozen := true
 		for v := 0; v < n && frozen; v++ {
-			frozen = r.Eng.State(v).(*verify.VState).Coasting
+			frozen = r.Eng.State(v).(*verify.VState).Hot().Coasting
 		}
 		if frozen {
 			return true

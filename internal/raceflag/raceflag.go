@@ -1,0 +1,5 @@
+// Package raceflag exposes whether the race detector instruments this
+// build. Allocation-count and timing-sensitive test gates skip under it —
+// instrumentation perturbs the allocator and the scheduler — and the three
+// per-package build-tagged shims this replaces kept drifting apart.
+package raceflag

@@ -1,0 +1,151 @@
+package runtime
+
+// Struct-of-arrays hot-state lanes.
+//
+// The engine's states are pointers to machine-owned structs; the fields the
+// ENGINE traverses every round — alarm flags, BitSize measurements, memo
+// stamps, coast certification flags — used to live inside those structs, so
+// every instrumentation reduction (AnyAlarm, MaxStateBits, worklist frontier
+// seeding) chased n pointers across the heap. Lanes flatten exactly those
+// hot fields into engine-owned parallel arrays ("lanes"), one array per
+// field, indexed by node — the same struct-of-arrays trade the CSR adjacency
+// made for the topology. A machine opts in by implementing LaneBinder; its
+// states keep their struct identity (labels, trains, protocol registers) and
+// the lane rows become the authoritative storage of the flattened fields
+// while a state is resident in an engine.
+//
+// Ownership contract (the short version; internal/runtime/DESIGN.md carries
+// the full one):
+//
+//   - The ENGINE swaps: lanes are double-buffered like the state buffers,
+//     and the engine swaps them in lockstep — all rows after a dense round,
+//     exactly the active rows in a sparse (worklist) round, no rows in an
+//     asynchronous step (async writes in place, same as its single-buffer
+//     state semantics).
+//   - The MACHINE moves data: its step reads the read-buffer row, writes the
+//     write-buffer row (through its own typed lane set, registered at bind
+//     time), and its LaneBinding translates between rows and struct fields
+//     at the residency boundaries (SetState loads, Engine.State spills).
+//   - The ENGINE invalidates and remaps: topology mutations clear the memo
+//     rows of touched nodes in BOTH buffers (the spare buffer's row is
+//     recycled two rounds later and must not resurrect a stale verdict) and
+//     remap port-valued rows alongside PortRemapper.
+type Lanes struct {
+	n          int
+	writeToCur bool // async steps write rows in place (single-buffer reads)
+	binding    LaneBinding
+	data       any // the machine's typed lane set (e.g. *verify.Lanes)
+	lanes      []laneBuffer
+}
+
+// laneBuffer is the untyped swap/size interface every Lane[T] registers.
+type laneBuffer interface {
+	swapAll()
+	swapRow(i int)
+}
+
+// LaneBinder is implemented by machines that keep part of their per-node
+// state in engine-owned lanes. BindLanes is called once, at Engine
+// construction, before Init runs; the machine registers its typed lanes
+// (NewLane) and installs its LaneBinding (Lanes.Bind). A machine that binds
+// nothing runs entirely on struct storage — binding is an opt-in per
+// machine value, so one build can host lane-resident and struct-resident
+// engines side by side (the lane-vs-struct parity suites do exactly that).
+type LaneBinder interface {
+	BindLanes(ls *Lanes)
+}
+
+// LaneBinding translates between lane rows and struct fields at the
+// residency boundaries, and answers the engine's per-node instrumentation
+// queries from row storage. Every method receives the node index; State
+// arguments are the engine's resident state for that node. write selects
+// the buffer: true reads the row being written this round (stepNode runs
+// after the machine step scattered it), false the read buffer (SetState,
+// async activations, external reads).
+type LaneBinding interface {
+	// LoadRow installs s's flattened fields into node i's read-buffer row
+	// (SetState/Corrupt): transit-preserved fields copy in, memo rows clear
+	// — the lane mirror of MemoInvalidator.
+	LoadRow(i int, s State)
+	// SpillRow copies node i's read-buffer row back into s's struct fields
+	// so external readers (Engine.State, Clone, DeepEqual-based tests) see
+	// current values through the plain struct API.
+	SpillRow(i int, s State)
+	// InvalidateRow clears node i's memo rows in both buffers (topology
+	// touch; the struct-side MemoInvalidator call still runs for the fields
+	// that stayed in the struct).
+	InvalidateRow(i int)
+	// RemapRow applies a port compaction to port-valued rows, both buffers.
+	RemapRow(i int, oldToNew []int)
+	// MeasureRow is s.BitSize() with the flattened fields read from rows.
+	MeasureRow(i int, s State, write bool) int
+	// AlarmRow and DoneRow are the Alarmer/Terminator probes on rows.
+	AlarmRow(i int, s State, write bool) bool
+	DoneRow(i int, s State, write bool) bool
+}
+
+func newLanes(n int) *Lanes { return &Lanes{n: n} }
+
+// N returns the number of rows (nodes) every registered lane holds.
+func (ls *Lanes) N() int { return ls.n }
+
+// Bind installs the machine's LaneBinding. Called from BindLanes.
+func (ls *Lanes) Bind(b LaneBinding) { ls.binding = b }
+
+// SetData stores the machine's typed lane set; Data returns it. The engine
+// never inspects it — it exists so Views can hand the step code its own
+// lanes back without a per-machine engine field.
+func (ls *Lanes) SetData(d any) { ls.data = d }
+func (ls *Lanes) Data() any     { return ls.data }
+
+// WriteToCur reports whether writes currently target the read buffer
+// (asynchronous stepping). Typed lane sets consult it to resolve Row(write).
+func (ls *Lanes) WriteToCur() bool { return ls.writeToCur }
+
+// swapAll flips every registered lane's buffers (dense round boundary).
+func (ls *Lanes) swapAll() {
+	for _, l := range ls.lanes {
+		l.swapAll()
+	}
+}
+
+// swapRow flips one node's rows (sparse round: only active nodes stepped).
+func (ls *Lanes) swapRow(i int) {
+	for _, l := range ls.lanes {
+		l.swapRow(i)
+	}
+}
+
+// Lane is one double-buffered column of the struct-of-arrays state: cur
+// parallels the engine's read buffer, prev the write buffer. The generic
+// parameter keeps rows flat (a []bool alarm lane is n bytes, not n
+// interface headers), which is the whole point: reductions scan contiguous
+// memory.
+type Lane[T any] struct {
+	ls        *Lanes
+	cur, prev []T
+}
+
+// NewLane allocates and registers a lane of ls's row count.
+func NewLane[T any](ls *Lanes) *Lane[T] {
+	l := &Lane[T]{ls: ls, cur: make([]T, ls.n), prev: make([]T, ls.n)}
+	ls.lanes = append(ls.lanes, l)
+	return l
+}
+
+func (l *Lane[T]) swapAll()      { l.cur, l.prev = l.prev, l.cur }
+func (l *Lane[T]) swapRow(i int) { l.cur[i], l.prev[i] = l.prev[i], l.cur[i] }
+
+// Row returns the requested buffer as a flat slice: the read buffer
+// (write=false; parallels the states visible to this round's steps) or the
+// write buffer (write=true; the rows being produced this round). During an
+// asynchronous step both resolve to the same storage, mirroring the
+// engine's single-buffer async semantics.
+//
+//ssmst:hotpath
+func (l *Lane[T]) Row(write bool) []T {
+	if write && !l.ls.writeToCur {
+		return l.prev
+	}
+	return l.cur
+}

@@ -195,6 +195,20 @@ func (v *View) PeerPort(q int) int {
 // Self returns the node's own current state (read-only).
 func (v *View) Self() State { return v.snap[v.node] }
 
+// Lanes returns the engine's hot-state lane registry (lanes.go). Machines
+// that bound lanes retrieve their typed lane set through Lanes().Data();
+// for machines that bound nothing, Data() is nil and the step runs on
+// struct storage.
+func (v *View) Lanes() *Lanes { return v.engine.lanes }
+
+// NeighbourNode returns the simulator index of the neighbour at the given
+// port — the lane-row index of that neighbour. Instrumentation/lane access
+// only; protocol logic must identify nodes by their IDs.
+func (v *View) NeighbourNode(port int) int {
+	a := v.engine.adj
+	return int(a.Peer[int(a.Off[v.node])+port])
+}
+
 // Neighbour returns the visible state of the neighbour at the given port
 // (read-only).
 func (v *View) Neighbour(port int) State {
@@ -315,6 +329,16 @@ type cloneOnly struct{ m Machine }
 func (c cloneOnly) Init(v *View) State { return c.m.Init(v) }
 func (c cloneOnly) Step(v *View) State { return c.m.Step(v) }
 
+// BindLanes forwards lane registration: dropping the in-place fast path must
+// not silently demote a lane-resident machine to struct storage (the parity
+// suites step clone-path and in-place engines of the same machine and expect
+// identical residency).
+func (c cloneOnly) BindLanes(ls *Lanes) {
+	if lb, ok := c.m.(LaneBinder); ok {
+		lb.BindLanes(ls)
+	}
+}
+
 // DefaultParallelThreshold is the network size below which parallel
 // dispatch is skipped. Measured crossover: one pool handoff costs on the
 // order of a few microseconds, while a typical Step runs in ~100ns, so
@@ -323,6 +347,10 @@ const DefaultParallelThreshold = 512
 
 // stepChunk is the unit of work claimed off the round cursor: large enough
 // to amortize the atomic add, small enough to balance uneven step costs.
+// Re-swept after the lane flattening (BenchmarkQuietRoundChunk, 32–1024 over
+// a settled n=16384 coast network): the quiet-round curve is flat within
+// jitter, so 128 stands on its load-balancing merit — at n=4096 with 8
+// workers it still yields 4 claims per worker for skewed detection rounds.
 const stepChunk = 128
 
 // Engine executes a Machine over a graph under one of the two daemons.
@@ -360,6 +388,10 @@ type Engine struct {
 	// that do not implement it fall back to dense rounds. The asynchronous
 	// daemon ignores it.
 	Worklist bool
+	// ChunkSize overrides the per-worker claim unit for parallel rounds
+	// (0 = stepChunk). Exposed so the bench layer can sweep it against the
+	// lane layout; the measured default stands for normal use.
+	ChunkSize int
 
 	maxBits     int
 	activations int64
@@ -387,7 +419,11 @@ type Engine struct {
 	// active sets of the current and next sparse round; matT[i] is the round
 	// whose end-of-round state states[i] reflects (skipped quiescent nodes
 	// lag and are materialized on demand via CoastStepper.CoastAdvance).
-	coaster      CoastStepper // non-nil iff machine implements the contract
+	coaster CoastStepper // non-nil iff machine implements the contract
+	// Struct-of-arrays hot-state lanes (lanes.go): always allocated; binding
+	// is non-nil iff the machine registered lanes (LaneBinder + Lanes.Bind).
+	lanes        *Lanes
+	binding      LaneBinding
 	frontier     []int32
 	nextFrontier []int32
 	inFrontier   []bool  // nextFrontier membership (dedup)
@@ -428,12 +464,22 @@ func New(g *graph.Graph, machine Machine, seed int64) *Engine {
 	}
 	e.inplace, _ = machine.(InPlaceStepper)
 	e.coaster, _ = machine.(CoastStepper)
+	e.lanes = newLanes(g.N())
+	if lb, ok := machine.(LaneBinder); ok {
+		lb.BindLanes(e.lanes)
+	}
+	e.binding = e.lanes.binding
 	e.view.engine = e
 	e.view.snap = e.states
 	for i := 0; i < g.N(); i++ {
 		e.view.node = i
 		e.view.rngOK = false
 		e.states[i] = machine.Init(&e.view)
+	}
+	if e.binding != nil {
+		for i := 0; i < g.N(); i++ {
+			e.binding.LoadRow(i, e.states[i])
+		}
 	}
 	for i := 0; i < g.N(); i++ {
 		e.noteState(i)
@@ -469,6 +515,12 @@ func (e *Engine) State(v int) State {
 	if e.matT != nil && e.matT[v] < int64(e.round) {
 		e.materialize(v, int64(e.round))
 	}
+	if e.binding != nil {
+		// Lane-resident fields are spilled into the struct so external
+		// readers (Clone, DeepEqual-based parity tests, experiment probes)
+		// observe current values through the plain struct API.
+		e.binding.SpillRow(v, e.states[v])
+	}
 	return e.states[v]
 }
 
@@ -488,6 +540,12 @@ func (e *Engine) SetState(v int, s State) {
 	e.states[v] = s
 	if e.matT != nil {
 		e.matT[v] = int64(e.round) // the installed state is current by fiat
+	}
+	if e.binding != nil {
+		// Load the installed state's transit-preserved fields into the lane
+		// rows and clear the memo rows — the lane mirror of the
+		// InvalidateMemo call above.
+		e.binding.LoadRow(v, s)
 	}
 	e.noteState(v)
 	e.bumpDirty(v, int64(e.round)+1)
@@ -645,6 +703,9 @@ func (e *Engine) touchTopology(v int, epoch int64) {
 			mi.InvalidateMemo()
 		}
 	}
+	if e.binding != nil {
+		e.binding.InvalidateRow(v)
+	}
 	e.noteState(v)
 }
 
@@ -673,6 +734,9 @@ func (e *Engine) remapPorts(v, removed, oldDeg int) {
 			pr.RemapPorts(m)
 		}
 	}
+	if e.binding != nil {
+		e.binding.RemapRow(v, m)
+	}
 }
 
 // noteState refreshes the incremental instrumentation for node v's current
@@ -681,14 +745,22 @@ func (e *Engine) noteState(v int) {
 	s := e.states[v]
 	alarm, done := false, false
 	if s != nil {
-		if b := s.BitSize(); b > e.maxBits {
-			e.maxBits = b
-		}
-		if a, ok := s.(Alarmer); ok && a.Alarm() {
-			alarm = true
-		}
-		if t, ok := s.(Terminator); ok && t.Done() {
-			done = true
+		if e.binding != nil {
+			if b := e.binding.MeasureRow(v, s, false); b > e.maxBits {
+				e.maxBits = b
+			}
+			alarm = e.binding.AlarmRow(v, s, false)
+			done = e.binding.DoneRow(v, s, false)
+		} else {
+			if b := s.BitSize(); b > e.maxBits {
+				e.maxBits = b
+			}
+			if a, ok := s.(Alarmer); ok && a.Alarm() {
+				alarm = true
+			}
+			if t, ok := s.(Terminator); ok && t.Done() {
+				done = true
+			}
 		}
 	}
 	if alarm != e.alarmed[v] {
@@ -724,16 +796,32 @@ func (e *Engine) stepNode(v *View, i int) (bitSize int, alarm, done bool) {
 		s = e.machine.Step(v)
 	}
 	e.stepNext[i] = s
-	bitSize = s.BitSize()
-	if a, ok := s.(Alarmer); ok && a.Alarm() {
-		alarm = true
-	}
-	if t, ok := s.(Terminator); ok && t.Done() {
-		done = true
+	if e.binding != nil {
+		// The machine's step scattered node i's hot fields into the lane
+		// write rows; measure/probe those rows instead of the struct.
+		bitSize = e.binding.MeasureRow(i, s, true)
+		alarm = e.binding.AlarmRow(i, s, true)
+		done = e.binding.DoneRow(i, s, true)
+	} else {
+		bitSize = s.BitSize()
+		if a, ok := s.(Alarmer); ok && a.Alarm() {
+			alarm = true
+		}
+		if t, ok := s.(Terminator); ok && t.Done() {
+			done = true
+		}
 	}
 	e.alarmed[i] = alarm
 	e.done[i] = done
 	return bitSize, alarm, done
+}
+
+// chunk returns the per-worker claim unit (ChunkSize override or stepChunk).
+func (e *Engine) chunk() int {
+	if e.ChunkSize > 0 {
+		return e.ChunkSize
+	}
+	return stepChunk
 }
 
 // effectiveWorkers returns how many pool workers a parallel round should
@@ -743,8 +831,8 @@ func (e *Engine) effectiveWorkers(n int) int {
 	if e.Workers > 0 && e.Workers < w {
 		w = e.Workers
 	}
-	if chunks := (n + stepChunk - 1) / stepChunk; chunks < w {
-		w = chunks
+	if c := e.chunk(); (n+c-1)/c < w {
+		w = (n + c - 1) / c
 	}
 	return w
 }
@@ -814,6 +902,7 @@ func (e *Engine) StepSync() {
 	}
 	e.inSyncStep = false
 	e.states, e.prev = e.stepNext, e.stepSnap
+	e.lanes.swapAll() // lanes swap in lockstep with the state buffers
 	e.stepSnap, e.stepNext = nil, nil
 	e.round++
 	e.activations += int64(n)
@@ -843,13 +932,14 @@ func (e *Engine) runChunks(v *View) {
 	v.engine = e
 	v.snap = e.stepSnap
 	n := len(e.stepSnap)
+	chunk := e.chunk()
 	localMax, alarms, done := 0, 0, 0
 	for {
-		lo := int(e.cursor.Add(stepChunk)) - stepChunk
+		lo := int(e.cursor.Add(int64(chunk))) - chunk
 		if lo >= n {
 			break
 		}
-		hi := lo + stepChunk
+		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
@@ -946,6 +1036,9 @@ func (e *Engine) StepAsync() {
 		e.rng.Shuffle(n, func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
 	}
 	e.order = order
+	// Async activations read and write current states on a single buffer;
+	// lane writes resolve to the read rows for the same in-place visibility.
+	e.lanes.writeToCur = true
 	v := &e.view
 	for _, node := range order {
 		v.snap = e.states
@@ -956,6 +1049,7 @@ func (e *Engine) StepAsync() {
 		e.activations++
 		e.stepsTaken++
 	}
+	e.lanes.writeToCur = false
 	e.round++
 	if e.matT != nil {
 		T := int64(e.round)

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	gort "runtime"
+	"ssmst/internal/raceflag"
 	"testing"
 	"time"
 
@@ -212,7 +213,7 @@ func TestParallelSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Skip("race instrumentation skews the parallel/serial ratio")
 	}
 	cores := gort.GOMAXPROCS(0)

@@ -53,14 +53,18 @@ package runtime
 // high-water mark needs no per-round re-measurement of skipped nodes.
 
 // CoastStepper is the optional Machine contract behind worklist stepping
-// (Engine.Worklist). Quiescent reports whether s is in the machine's coast
-// regime: stepping it under an unchanged neighbourhood is exactly
-// CoastAdvance(s, deg, 1), it raises no alarm, and its BitSize is constant.
-// CoastAdvance advances the coast clockwork of s by k rounds, in place, in
-// O(1) — wraps and resets replayed algebraically, never iterated.
+// (Engine.Worklist). Quiescent reports whether node i's state s is in the
+// machine's coast regime: stepping it under an unchanged neighbourhood is
+// exactly one CoastAdvance tick (k=1), it raises no alarm, and its BitSize
+// is constant. CoastAdvance advances the coast clockwork of node's state s
+// by k rounds, in place, in O(1) — wraps and resets replayed algebraically,
+// never iterated. Both receive the engine's lane registry and the node's
+// row index: lane-resident machines read/write the flattened fields (coast
+// flags, dwell windows, candidate ports) through their typed lanes; struct
+// machines ignore ls.
 type CoastStepper interface {
-	Quiescent(s State) bool
-	CoastAdvance(s State, deg, k int)
+	Quiescent(ls *Lanes, i int, s State) bool
+	CoastAdvance(ls *Lanes, node int, s State, deg, k int)
 }
 
 // StepsTaken returns the cumulative number of machine steps executed. Under
@@ -134,7 +138,7 @@ func (e *Engine) materialize(i int, T int64) {
 	e.matT[i] = T
 	a := e.adj
 	deg := int(a.Off[i+1] - a.Off[i])
-	e.coaster.CoastAdvance(e.states[i], deg, int(k))
+	e.coaster.CoastAdvance(e.lanes, i, e.states[i], deg, int(k))
 }
 
 // stepNodeSparse steps node i and returns its bit size and the round's
@@ -243,6 +247,7 @@ func (e *Engine) stepSyncSparse() {
 	// round because writes went to the spare buffer's slots only.
 	for _, i := range active {
 		e.states[i], e.prev[i] = e.prev[i], e.states[i]
+		e.lanes.swapRow(int(i)) // lane rows install in lockstep with the slot
 		e.matT[i] = T + 1
 	}
 	e.stepSnap, e.stepNext = nil, nil
@@ -251,7 +256,7 @@ func (e *Engine) stepSyncSparse() {
 	e.stepsTaken += int64(len(active))
 	e.commitMarks() // wakes the marks' neighbourhoods for the next round
 	for _, i := range active {
-		if !e.coaster.Quiescent(e.states[i]) {
+		if !e.coaster.Quiescent(e.lanes, int(i), e.states[i]) {
 			e.enqueue(i)
 		}
 	}
@@ -267,13 +272,14 @@ func (e *Engine) runChunksSparse(v *View) {
 	v.snap = e.stepSnap
 	active := e.sparseActive
 	n := len(active)
+	chunk := e.chunk()
 	localMax, dAlarm, dDone := 0, 0, 0
 	for {
-		lo := int(e.cursor.Add(stepChunk)) - stepChunk
+		lo := int(e.cursor.Add(int64(chunk))) - chunk
 		if lo >= n {
 			break
 		}
-		hi := lo + stepChunk
+		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}

@@ -1,0 +1,162 @@
+package selfstab
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/runtime"
+	"ssmst/internal/verify"
+)
+
+// The transformer's half of the PR 9 lane-parity gate: a lane-bound
+// transformer engine (the embedded verifier's hot fields flattened into
+// engine rows, valid while the node carries a check state) against a NoLanes
+// struct-residency reference, bit-identical through a clean start, a
+// scrambled adversarial start (poison verifier states, epoch floods,
+// re-execution), verifier faults landing mid-check-phase, and live churn.
+
+func newLanesParityRunners(g *graph.Graph, seed int64, parallel bool) (ref, ln *Runner) {
+	m := NewMachine(g, g.N(), verify.Sync)
+	m.NoLanes = true
+	eng := runtime.New(g, m, seed)
+	eng.Parallel = false
+	m.Snapshot = func() []*SState {
+		out := make([]*SState, g.N())
+		for i := 0; i < g.N(); i++ {
+			if st, ok := eng.State(i).(*SState); ok {
+				out[i] = st
+			}
+		}
+		return out
+	}
+	ref = &Runner{M: m, Eng: eng}
+
+	ln = NewRunner(g, g.N(), verify.Sync, seed)
+	if parallel {
+		ln.Eng.ParallelThreshold = 1
+		ln.Eng.ForcePool = true
+	} else {
+		ln.Eng.Parallel = false
+	}
+	return ref, ln
+}
+
+// compareSelfstabLanes asserts full-state equality at every node plus the
+// engine-level reductions the lanes feed (alarm flag, all-done, the
+// MaxStateBits high-water mark). Engine.State spills the lane rows back into
+// the embedded verifier's struct image, so the comparison is strict — memo
+// stamps and caches included.
+func compareSelfstabLanes(t *testing.T, tag string, ref, ln *Runner) {
+	t.Helper()
+	n := ref.Eng.G().N()
+	for v := 0; v < n; v++ {
+		a := ref.Eng.State(v).(*SState)
+		b := ln.Eng.State(v).(*SState)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s node %d: lane residency diverged from struct\nstruct %+v\n lanes %+v", tag, v, a, b)
+		}
+		if ab, bb := a.BitSize(), b.BitSize(); ab != bb {
+			t.Fatalf("%s node %d: BitSize diverged: struct %d, lanes %d", tag, v, ab, bb)
+		}
+	}
+	_, ra := ref.Eng.AnyAlarm()
+	_, la := ln.Eng.AnyAlarm()
+	if ra != la {
+		t.Fatalf("%s: alarm flag diverged: struct %v, lanes %v", tag, ra, la)
+	}
+	if rd, ld := ref.Eng.AllDone(), ln.Eng.AllDone(); rd != ld {
+		t.Fatalf("%s: AllDone diverged: struct %v, lanes %v", tag, rd, ld)
+	}
+	if rm, lm := ref.Eng.MaxStateBits(), ln.Eng.MaxStateBits(); rm != lm {
+		t.Fatalf("%s: MaxStateBits diverged: struct %d, lanes %d", tag, rm, lm)
+	}
+}
+
+func stepBoth(t *testing.T, ref, ln *Runner, rounds int, tagf string) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		ref.Step()
+		ln.Step()
+		compareSelfstabLanes(t, fmt.Sprintf(tagf, i), ref, ln)
+	}
+}
+
+func runSelfstabLanesParity(t *testing.T, parallel bool) {
+	g := graph.RandomConnected(16, 40, 7)
+	ref, ln := newLanesParityRunners(g, 4, parallel)
+	m := NewMachine(g, g.N(), verify.Sync)
+	epoch := m.resyncDur() + m.buildDur() + m.labelDur()
+
+	// Phase 1: clean start through a full epoch into the check phase.
+	stepBoth(t, ref, ln, epoch+200, "clean round %d")
+	for v := 0; v < g.N(); v++ {
+		if st := ln.Eng.State(v).(*SState); st.Phase != PhaseCheck {
+			t.Fatalf("node %d still in phase %v; the check-phase lane composition was never exercised", v, st.Phase)
+		}
+	}
+
+	// Phase 2: verifier faults landing mid-check-phase — SetState reloads
+	// the victim's rows on the lane side, and detection resets the epoch
+	// (stale rows must stay gated through resync/build/label until the next
+	// label installation).
+	rng := rand.New(rand.NewSource(19))
+	injected := 0
+	for kind := verify.FaultKind(0); kind < verify.FaultKind(verify.NumFaultKinds); kind++ {
+		v := rng.Intn(g.N())
+		st := ref.Eng.State(v).Clone().(*SState)
+		if st.Check == nil || !verify.ApplyFault(st.Check, kind, rng, len(g.Ports(v))) {
+			continue
+		}
+		injected++
+		ref.Eng.SetState(v, st)
+		ln.Eng.SetState(v, st.Clone())
+		compareSelfstabLanes(t, fmt.Sprintf("post-inject %v", kind), ref, ln)
+		stepBoth(t, ref, ln, epoch/2+40, fmt.Sprintf("fault %d", kind)+" round %d")
+	}
+	if injected == 0 {
+		t.Fatal("no verifier fault applied; the detection/reset lane path was never exercised")
+	}
+
+	// Phase 3: scrambled adversarial states on both engines — poison
+	// verifier states (nil Check in the check phase), corrupted pulses,
+	// epoch floods and the re-execution that follows.
+	scr := NewRunner(g, g.N(), verify.Sync, 11)
+	scr.Eng.Parallel = false
+	scr.Scramble(rand.New(rand.NewSource(29)))
+	for v := 0; v < g.N(); v++ {
+		st := scr.Eng.State(v).(*SState)
+		ref.Eng.SetState(v, st.Clone())
+		ln.Eng.SetState(v, st.Clone())
+	}
+	compareSelfstabLanes(t, "post-scramble", ref, ln)
+	stepBoth(t, ref, ln, 2*epoch+300, "scramble round %d")
+
+	// Phase 4: live churn once both networks have stabilized (still in
+	// lockstep) — the mutation goes through the lane engine, the reference
+	// resyncs from the shared graph, and both re-stabilize together.
+	stable := false
+	for i := 0; i < 20*epoch && !stable; i++ {
+		ref.Step()
+		ln.Step()
+		stable = ln.Stabilized()
+	}
+	if !stable {
+		t.Fatal("lane engine never stabilized before churn")
+	}
+	compareSelfstabLanes(t, "pre-churn", ref, ln)
+	if _, ok := ln.ApplyChurn(verify.ChurnWeightBreak, rng); ok {
+		if !ref.ResyncTopology() {
+			t.Fatal("churn: struct reference resync degraded")
+		}
+		compareSelfstabLanes(t, "post-churn", ref, ln)
+		stepBoth(t, ref, ln, 2*epoch+200, "churn round %d")
+	} else {
+		t.Log("no weight-break mutation available, churn phase skipped")
+	}
+}
+
+func TestSelfstabLanesParitySerial(t *testing.T)   { runSelfstabLanesParity(t, false) }
+func TestSelfstabLanesParityParallel(t *testing.T) { runSelfstabLanesParity(t, true) }

@@ -40,7 +40,7 @@ func TestWorklistQuietReachesCoast(t *testing.T) {
 		if settled < 0 {
 			coasting := 0
 			for i := 0; i < n; i++ {
-				if r.Eng.State(i).(*VState).Coasting {
+				if r.Eng.State(i).(*VState).Hot().Coasting {
 					coasting++
 				}
 			}
@@ -48,7 +48,7 @@ func TestWorklistQuietReachesCoast(t *testing.T) {
 				n, budget, r.Eng.LastActive(), coasting, n)
 		}
 		for i := 0; i < n; i++ {
-			if !r.Eng.State(i).(*VState).Coasting {
+			if !r.Eng.State(i).(*VState).Hot().Coasting {
 				t.Fatalf("n=%d: node %d awake after frontier drained", n, i)
 			}
 		}

@@ -21,7 +21,9 @@ import (
 // every round".
 func stripEpoch(s runtime.State) *VState {
 	c := s.Clone().(*VState)
-	c.StaticEpoch = 0
+	if c.hot != nil {
+		c.hot.staticEpoch = 0
+	}
 	return c
 }
 

@@ -1,0 +1,307 @@
+package verify
+
+import (
+	"ssmst/internal/runtime"
+)
+
+// Struct-of-arrays hot-state lanes — the verifier's half of the PR 9 layout
+// (see internal/runtime/lanes.go for the engine's half and the ownership
+// contract).
+//
+// The fields the ENGINE reads every round — the static-verdict memo and its
+// stamps, the labelBits memo, the coast certification block, and the three
+// per-round outputs (CandPort, AlarmFlag, AlarmCode) — are flattened out of
+// VState into one narrow typed lane per field. While a state is resident in
+// a lane-bound engine, the lane rows are the authoritative storage of those
+// fields: the engine measures, probes and frontier-seeds from flat arrays,
+// and the struct's own image (VState.hot plus the three transit registers)
+// is just a working copy, refreshed from the rows at the step and
+// observation boundaries:
+//
+//   - Engine.State → SpillRow: rows → struct, so external readers (tests,
+//     experiments, Clone) see current values through the plain struct API.
+//   - SetState/Corrupt → LoadRow: struct → rows (both buffers), memo rows
+//     cleared by the preceding InvalidateMemo.
+//   - StepInto entry → SpillRow into dst after the header copy: the read
+//     row is the step's authoritative pre-state image.
+//   - StepInto exit → StoreRow(write): the step's results become the write
+//     row the engine measures (MeasureRow/AlarmRow with write=true) and
+//     swaps in at the round boundary.
+//
+// A machine built with NoLanes binds nothing and runs entirely on struct
+// storage; the two residencies are bit-identical (lanes_parity_test.go).
+type Lanes struct {
+	ls *runtime.Lanes
+
+	staticValid  *runtime.Lane[bool]
+	staticAlarm  *runtime.Lane[bool]
+	staticCode   *runtime.Lane[uint8]
+	staticWindow *runtime.Lane[int32]
+	staticEpoch  *runtime.Lane[int64]
+	labelBits    *runtime.Lane[int32]
+	labelBitsOK  *runtime.Lane[bool]
+	coasting     *runtime.Lane[bool]
+	coastEpoch   *runtime.Lane[int64]
+	coastBits    *runtime.Lane[int32]
+	candPort     *runtime.Lane[int32]
+	alarmFlag    *runtime.Lane[bool]
+	alarmCode    *runtime.Lane[uint8]
+}
+
+// NewLanes allocates the verifier's typed lane set on ls and installs it as
+// ls's machine data, so Views (and LanesOf) can retrieve it. The caller
+// still installs the LaneBinding: verify.Machine.BindLanes binds raw VState
+// rows, internal/selfstab wraps the same lane set for its composite states.
+func NewLanes(ls *runtime.Lanes) *Lanes {
+	vl := &Lanes{
+		ls:           ls,
+		staticValid:  runtime.NewLane[bool](ls),
+		staticAlarm:  runtime.NewLane[bool](ls),
+		staticCode:   runtime.NewLane[uint8](ls),
+		staticWindow: runtime.NewLane[int32](ls),
+		staticEpoch:  runtime.NewLane[int64](ls),
+		labelBits:    runtime.NewLane[int32](ls),
+		labelBitsOK:  runtime.NewLane[bool](ls),
+		coasting:     runtime.NewLane[bool](ls),
+		coastEpoch:   runtime.NewLane[int64](ls),
+		coastBits:    runtime.NewLane[int32](ls),
+		candPort:     runtime.NewLane[int32](ls),
+		alarmFlag:    runtime.NewLane[bool](ls),
+		alarmCode:    runtime.NewLane[uint8](ls),
+	}
+	ls.SetData(vl)
+	return vl
+}
+
+// LanesOf returns the verifier lane set registered on ls, nil if the machine
+// bound none (struct-mode build, or a non-verifier machine).
+func LanesOf(ls *runtime.Lanes) *Lanes {
+	if ls == nil {
+		return nil
+	}
+	vl, _ := ls.Data().(*Lanes)
+	return vl
+}
+
+// SpillRow copies node i's read-buffer row into s's struct image (the hot
+// block and the three transit registers), making the plain struct API
+// reflect current lane values.
+//
+//ssmst:hotpath
+func (vl *Lanes) SpillRow(i int, s *VState) {
+	h := s.ensureHot()
+	h.staticValid = vl.staticValid.Row(false)[i]
+	h.staticAlarm = vl.staticAlarm.Row(false)[i]
+	h.staticCode = AlarmCode(vl.staticCode.Row(false)[i])
+	h.staticWindow = int(vl.staticWindow.Row(false)[i])
+	h.staticEpoch = vl.staticEpoch.Row(false)[i]
+	h.labelBits = int(vl.labelBits.Row(false)[i])
+	h.labelBitsOK = vl.labelBitsOK.Row(false)[i]
+	h.coasting = vl.coasting.Row(false)[i]
+	h.coastEpoch = vl.coastEpoch.Row(false)[i]
+	h.coastBits = int(vl.coastBits.Row(false)[i])
+	s.CandPort = int(vl.candPort.Row(false)[i])
+	s.AlarmFlag = vl.alarmFlag.Row(false)[i]
+	s.AlarmCode = AlarmCode(vl.alarmCode.Row(false)[i])
+}
+
+// StoreRow copies s's struct image into node i's row of the selected buffer
+// (write=true: the row being produced this round; write=false: the read
+// buffer — in-place coast replay). A nil hot block stores as memo-empty.
+//
+//ssmst:hotpath
+func (vl *Lanes) StoreRow(i int, s *VState, write bool) {
+	var h vhot
+	if s.hot != nil {
+		h = *s.hot
+	}
+	vl.staticValid.Row(write)[i] = h.staticValid
+	vl.staticAlarm.Row(write)[i] = h.staticAlarm
+	vl.staticCode.Row(write)[i] = uint8(h.staticCode)
+	vl.staticWindow.Row(write)[i] = int32(h.staticWindow)
+	vl.staticEpoch.Row(write)[i] = h.staticEpoch
+	vl.labelBits.Row(write)[i] = int32(h.labelBits)
+	vl.labelBitsOK.Row(write)[i] = h.labelBitsOK
+	vl.coasting.Row(write)[i] = h.coasting
+	vl.coastEpoch.Row(write)[i] = h.coastEpoch
+	vl.coastBits.Row(write)[i] = int32(h.coastBits)
+	vl.candPort.Row(write)[i] = int32(s.CandPort)
+	vl.alarmFlag.Row(write)[i] = s.AlarmFlag
+	vl.alarmCode.Row(write)[i] = uint8(s.AlarmCode)
+}
+
+// LoadRow installs s's struct image into node i's rows of BOTH buffers —
+// the residency entry point (engine New, SetState/Corrupt). The caller has
+// already invalidated s's memos (engine SetState runs InvalidateMemo first),
+// so the memo rows land cleared; the transit registers carry the injected
+// values. Both buffers are written because the spare buffer's row survives
+// into the next round as the write-side image the elision guard reads.
+func (vl *Lanes) LoadRow(i int, s *VState) {
+	vl.StoreRow(i, s, false)
+	vl.StoreRow(i, s, true)
+}
+
+// CopyRow carries node i's read row onto its write row unchanged — the lane
+// mirror of "this round holds the verifier image as-is" (selfstab's check
+// phase while the neighbourhood synchronizes). Under async stepping both
+// rows are the same storage and the carry is a no-op.
+//
+//ssmst:hotpath
+func (vl *Lanes) CopyRow(i int) {
+	vl.staticValid.Row(true)[i] = vl.staticValid.Row(false)[i]
+	vl.staticAlarm.Row(true)[i] = vl.staticAlarm.Row(false)[i]
+	vl.staticCode.Row(true)[i] = vl.staticCode.Row(false)[i]
+	vl.staticWindow.Row(true)[i] = vl.staticWindow.Row(false)[i]
+	vl.staticEpoch.Row(true)[i] = vl.staticEpoch.Row(false)[i]
+	vl.labelBits.Row(true)[i] = vl.labelBits.Row(false)[i]
+	vl.labelBitsOK.Row(true)[i] = vl.labelBitsOK.Row(false)[i]
+	vl.coasting.Row(true)[i] = vl.coasting.Row(false)[i]
+	vl.coastEpoch.Row(true)[i] = vl.coastEpoch.Row(false)[i]
+	vl.coastBits.Row(true)[i] = vl.coastBits.Row(false)[i]
+	vl.candPort.Row(true)[i] = vl.candPort.Row(false)[i]
+	vl.alarmFlag.Row(true)[i] = vl.alarmFlag.Row(false)[i]
+	vl.alarmCode.Row(true)[i] = vl.alarmCode.Row(false)[i]
+}
+
+// ClearRow clears node i's memo gate rows in BOTH buffers — the exact lane
+// mirror of VState.InvalidateMemo (topology touches, port remaps): the
+// gates (staticValid, labelBitsOK, the coast block) drop, the gated verdict
+// content (staticAlarm/staticCode/staticWindow/staticEpoch) stays, and the
+// transit rows (CandPort, AlarmFlag, AlarmCode) are protocol state, left in
+// place. Matching InvalidateMemo field-for-field keeps struct and lane
+// residency bit-identical under full-state comparison, not just in
+// protocol-visible observables.
+func (vl *Lanes) ClearRow(i int) {
+	for _, w := range [2]bool{false, true} {
+		vl.staticValid.Row(w)[i] = false
+		vl.labelBits.Row(w)[i] = 0
+		vl.labelBitsOK.Row(w)[i] = false
+		vl.coasting.Row(w)[i] = false
+		vl.coastEpoch.Row(w)[i] = 0
+		vl.coastBits.Row(w)[i] = 0
+	}
+}
+
+// ZeroRow fully zeroes node i's rows in both buffers — memo, verdict
+// content and transit registers alike — for composite machines whose node
+// currently carries no verifier state at all (selfstab outside the check
+// phase).
+func (vl *Lanes) ZeroRow(i int) {
+	for _, w := range [2]bool{false, true} {
+		vl.staticValid.Row(w)[i] = false
+		vl.staticAlarm.Row(w)[i] = false
+		vl.staticCode.Row(w)[i] = 0
+		vl.staticWindow.Row(w)[i] = 0
+		vl.staticEpoch.Row(w)[i] = 0
+		vl.labelBits.Row(w)[i] = 0
+		vl.labelBitsOK.Row(w)[i] = false
+		vl.coasting.Row(w)[i] = false
+		vl.coastEpoch.Row(w)[i] = 0
+		vl.coastBits.Row(w)[i] = 0
+		vl.candPort.Row(w)[i] = 0
+		vl.alarmFlag.Row(w)[i] = false
+		vl.alarmCode.Row(w)[i] = 0
+	}
+}
+
+// RemapRow applies a port compaction to node i's candidate-port rows (both
+// buffers) and clears the memo rows — the lane mirror of VState.RemapPorts
+// (which remaps the struct image and calls InvalidateMemo).
+func (vl *Lanes) RemapRow(i int, oldToNew []int) {
+	for _, w := range [2]bool{false, true} {
+		r := vl.candPort.Row(w)
+		if p := int(r[i]); p >= 0 && p < len(oldToNew) {
+			r[i] = int32(oldToNew[p])
+		}
+	}
+	vl.ClearRow(i)
+}
+
+// MeasureRow is VState.BitSize with the flattened fields read from node i's
+// row of the selected buffer: the coast-footprint short-circuit, the
+// labelBits memoization (cached into the row, the same lifetime the struct
+// memo had), then the shared width formula over row values and s's struct
+// registers.
+//
+//ssmst:hotpath
+func (vl *Lanes) MeasureRow(i int, s *VState, write bool) int {
+	if vl.coasting.Row(write)[i] {
+		if cb := int(vl.coastBits.Row(write)[i]); cb > 0 {
+			return cb
+		}
+	}
+	lb := vl.labelBits.Row(write)
+	if !vl.labelBitsOK.Row(write)[i] {
+		lb[i] = int32(s.L.BitSize())
+		vl.labelBitsOK.Row(write)[i] = true
+	}
+	return s.bitSizeFlat(int(lb[i]), int(vl.candPort.Row(write)[i]),
+		vl.alarmFlag.Row(write)[i], vl.coasting.Row(write)[i])
+}
+
+// AlarmRow is the Alarmer probe on node i's row.
+//
+//ssmst:hotpath
+func (vl *Lanes) AlarmRow(i int, write bool) bool { return vl.alarmFlag.Row(write)[i] }
+
+// Coasting reads node i's read-buffer coast flag — the worklist quiescence
+// probe and the neighbour read behind the certification cascade
+// (lineageFrozen): one flat []bool scan instead of n pointer chases.
+//
+//ssmst:hotpath
+func (vl *Lanes) Coasting(i int) bool { return vl.coasting.Row(false)[i] }
+
+// vstateBinding implements runtime.LaneBinding for engines whose states are
+// raw *VState (the standalone verifier). Foreign state types degrade to
+// struct behaviour.
+type vstateBinding struct{ vl *Lanes }
+
+var _ runtime.LaneBinding = vstateBinding{}
+
+func (b vstateBinding) LoadRow(i int, st runtime.State) {
+	if s, ok := st.(*VState); ok {
+		b.vl.LoadRow(i, s)
+	}
+}
+
+func (b vstateBinding) SpillRow(i int, st runtime.State) {
+	if s, ok := st.(*VState); ok {
+		b.vl.SpillRow(i, s)
+	}
+}
+
+func (b vstateBinding) InvalidateRow(i int)            { b.vl.ClearRow(i) }
+func (b vstateBinding) RemapRow(i int, oldToNew []int) { b.vl.RemapRow(i, oldToNew) }
+
+func (b vstateBinding) MeasureRow(i int, st runtime.State, write bool) int {
+	if s, ok := st.(*VState); ok {
+		return b.vl.MeasureRow(i, s, write)
+	}
+	return st.BitSize()
+}
+
+func (b vstateBinding) AlarmRow(i int, st runtime.State, write bool) bool {
+	return b.vl.AlarmRow(i, write)
+}
+
+func (b vstateBinding) DoneRow(i int, st runtime.State, write bool) bool { return false }
+
+// BindLanes implements runtime.LaneBinder: the verifier opts its hot fields
+// into engine-owned lanes. A Machine built with NoLanes binds nothing, so
+// the engine falls back to struct storage — the reference residency the
+// lane-vs-struct parity suite steps side by side.
+func (m *Machine) BindLanes(ls *runtime.Lanes) {
+	if m.NoLanes {
+		return
+	}
+	ls.Bind(vstateBinding{NewLanes(ls)})
+}
+
+// laneView is the optional NodeView extension a lane-resident step uses:
+// the typed lane set plus this node's row index, and the row index of a
+// neighbour (the certification cascade reads the parent's coast flag from
+// its lane row). Views of struct-mode engines return a nil lane set.
+type laneView interface {
+	VerifierLanes() (*Lanes, int)
+	NeighbourNode(port int) int
+}

@@ -1,0 +1,262 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ssmst/internal/graph"
+	"ssmst/internal/raceflag"
+	"ssmst/internal/runtime"
+)
+
+// lanesParity is the differential battery locking the SoA lane residency to
+// the struct residency (the PR 9 acceptance gate): a lane-bound engine and a
+// NoLanes engine run the identical dense coast configuration side by side —
+// through settling into the coasting regime, quiet stretches, fault storms
+// from the whole menu, churn events of every kind, and campaign-style
+// bursts — and must agree on every node's full state (hot block and memo
+// stamps included), BitSize, alarm flags, alarm sets, and the MaxStateBits
+// high-water mark, round for round. The two residencies differ only in
+// where the flattened fields live; Engine.State spills the lane rows back
+// into the struct image, so reflect.DeepEqual compares them bit for bit.
+
+// lanesParityRunners builds the pair over one shared mutable graph: the
+// NoLanes struct-residency reference (serial — the pre-lane semantics
+// oracle) and the lane-bound engine, serial or pool-forced.
+func lanesParityRunners(l *Labeled, seed int64, parallel bool) (ref, ln *Runner) {
+	m := &Machine{Mode: Sync, Labeled: l, Coast: true, NoLanes: true}
+	eng := runtime.New(l.G, m, seed)
+	eng.Parallel = false
+	ref = &Runner{Labeled: l, Machine: m, Eng: eng}
+
+	ln = NewCoastRunner(l, seed)
+	if parallel {
+		ln.Eng.ParallelThreshold = 1
+		ln.Eng.ForcePool = true
+	} else {
+		ln.Eng.Parallel = false
+	}
+	return ref, ln
+}
+
+// compareLanes asserts full-state equality at every node. Strict on purpose:
+// protocol fields, coast certification fields and the simulator-side memo
+// stamps alike — InvalidateMemo and Lanes.ClearRow clear the same field set
+// field for field precisely so this comparison can be bitwise, not merely
+// observational.
+func compareLanes(t *testing.T, tag string, g *graph.Graph, ref, ln *Runner) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		a := ref.Eng.State(v).(*VState)
+		b := ln.Eng.State(v).(*VState)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s node %d: lane residency diverged from struct\nstruct %+v\n lanes %+v\nstruct hot %+v\n lanes hot %+v",
+				tag, v, a, b, a.hot, b.hot)
+		}
+		if ab, bb := a.BitSize(), b.BitSize(); ab != bb {
+			t.Fatalf("%s node %d: BitSize diverged: struct %d, lanes %d", tag, v, ab, bb)
+		}
+	}
+	if am, bm := ref.Eng.MaxStateBits(), ln.Eng.MaxStateBits(); am != bm {
+		t.Fatalf("%s: MaxStateBits diverged: struct %d, lanes %d", tag, am, bm)
+	}
+}
+
+// lanesDriver runs the randomized differential schedule in lockstep.
+type lanesDriver struct {
+	t     *testing.T
+	g     *graph.Graph
+	l     *Labeled
+	ref   *Runner // struct residency (NoLanes)
+	ln    *Runner // lane residency
+	round int
+}
+
+func (d *lanesDriver) tag() string { return fmt.Sprintf("round %d", d.round) }
+
+func (d *lanesDriver) step(k int, compareEvery bool) {
+	t := d.t
+	t.Helper()
+	for i := 0; i < k; i++ {
+		d.ref.Step()
+		d.ln.Step()
+		d.round++
+		_, ra := d.ref.Eng.AnyAlarm()
+		_, la := d.ln.Eng.AnyAlarm()
+		if ra != la {
+			t.Fatalf("%s: alarm flag diverged: struct %v, lanes %v", d.tag(), ra, la)
+		}
+		if ra {
+			an, bn := d.ref.Eng.AlarmNodes(), d.ln.Eng.AlarmNodes()
+			if !reflect.DeepEqual(an, bn) {
+				t.Fatalf("%s: alarm sets diverged: struct %v, lanes %v", d.tag(), an, bn)
+			}
+		}
+		if compareEvery {
+			compareLanes(t, d.tag(), d.g, d.ref, d.ln)
+		}
+	}
+	if !compareEvery {
+		compareLanes(t, d.tag()+" (stretch end)", d.g, d.ref, d.ln)
+	}
+}
+
+// settle steps until the struct reference certifies the whole network
+// frozen, comparing every round — certification timing is part of the
+// contract the lanes must reproduce.
+func (d *lanesDriver) settle(cap int) {
+	d.t.Helper()
+	for i := 0; i < cap; i++ {
+		d.step(1, true)
+		frozen := true
+		for v := 0; v < d.g.N() && frozen; v++ {
+			frozen = d.ref.Eng.State(v).(*VState).Hot().Coasting
+		}
+		if frozen {
+			return
+		}
+	}
+	d.t.Fatalf("%s: network never fully certified within %d rounds", d.tag(), cap)
+}
+
+func (d *lanesDriver) inject(v int, kind FaultKind, rng *rand.Rand) bool {
+	s := d.ref.Eng.State(v).Clone().(*VState)
+	if !ApplyFault(s, kind, rng, len(d.g.Ports(v))) {
+		return false
+	}
+	d.ref.Eng.SetState(v, s)
+	d.ln.Eng.SetState(v, s.Clone())
+	return true
+}
+
+func (d *lanesDriver) churn(kind ChurnKind, rng *rand.Rand) bool {
+	ev, apply, ok := PlanChurn(d.g, d.l.Tree.Parent, kind, rng)
+	if !ok {
+		return false
+	}
+	if err := d.ref.Eng.MutateTopology(apply); err != nil {
+		d.t.Fatalf("%s: churn %v: %v", d.tag(), ev, err)
+	}
+	if !d.ln.ResyncTopology() {
+		d.t.Fatalf("%s: churn %v: lanes resync degraded (journal gap)", d.tag(), ev)
+	}
+	compareLanes(d.t, d.tag()+" (post-churn)", d.g, d.ref, d.ln)
+	return true
+}
+
+func runLanesParitySchedule(t *testing.T, seed int64, parallel bool) {
+	g := graph.RandomConnected(72, 180, seed)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ln := lanesParityRunners(l, SubSeed(seed, 0), parallel)
+	d := &lanesDriver{t: t, g: g, l: l, ref: ref, ln: ln}
+	budget := DetectionBudget(g.N())
+
+	// Phase 1: settle into the fully-coasting regime, compared every round.
+	d.settle(budget)
+	settleRound := d.round
+
+	// Phase 2: quiet coasting stretches straddling the sampler's level orbit
+	// and the roots' watchdog wraps — the coast clockwork branch, where the
+	// lanes carry the certification block.
+	for _, k := range []int{1, 2, 37, 150} {
+		d.step(k, false)
+	}
+
+	// Phase 3: fault storm over the whole menu — SetState reloads the
+	// victim's rows; wake, detection and recovery must agree round for round.
+	rng := rand.New(rand.NewSource(SubSeed(seed, 1)))
+	for kind := FaultKind(0); kind < FaultKind(NumFaultKinds); kind++ {
+		v := rng.Intn(g.N())
+		if !d.inject(v, kind, rng) {
+			continue
+		}
+		compareLanes(t, d.tag()+" (post-inject)", d.g, ref, ln)
+		d.step(20+rng.Intn(12), true)
+		d.step(31, false)
+	}
+
+	// Phase 4: churn events of every kind against the shared live graph —
+	// port remaps and memo invalidations flow through RemapRow/ClearRow on
+	// the lane side and RemapPorts/InvalidateMemo on the struct side.
+	for _, kind := range []ChurnKind{ChurnWeightKeep, ChurnCut, ChurnAddHeavy, ChurnWeightBreak, ChurnAddLight} {
+		if !d.churn(kind, rng) {
+			t.Logf("%s: no %v mutation available, skipped", d.tag(), kind)
+			continue
+		}
+		d.step(16+rng.Intn(8), true)
+	}
+
+	// Phase 5: campaign-style bursts — several simultaneous faults plus a
+	// random churn event in one round, then a long randomized tail.
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 3; i++ {
+			d.inject(rng.Intn(g.N()), FaultKind(rng.Intn(NumFaultKinds)), rng)
+		}
+		if ev, apply, ok := RandomChurn(g, l.Tree.Parent, rng); ok {
+			if err := ref.Eng.MutateTopology(apply); err != nil {
+				t.Fatalf("%s: burst churn %v: %v", d.tag(), ev, err)
+			}
+			if !ln.ResyncTopology() {
+				t.Fatalf("%s: burst churn resync degraded", d.tag())
+			}
+		}
+		compareLanes(t, d.tag()+" (post-burst)", d.g, ref, ln)
+		d.step(24, true)
+		d.step(40+rng.Intn(40), false)
+	}
+
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invariants violated after the schedule: %v", err)
+	}
+	t.Logf("lane parity held: settled at round %d, finished at round %d (budget %d)",
+		settleRound, d.round, budget)
+}
+
+func TestLanesParitySerial(t *testing.T)   { runLanesParitySchedule(t, 51, false) }
+func TestLanesParityParallel(t *testing.T) { runLanesParitySchedule(t, 53, true) }
+
+// TestLanesQuietRoundZeroAlloc is the PR 9 hot-path gate: once a lane-bound
+// dense coast network is fully certified, a quiet round must allocate
+// nothing and copy zero labels — the lanes replace pointer-chased per-state
+// memos with flat row scans, and any per-round allocation or label copy on
+// that path would be a regression the benchmarks only show as noise.
+func TestLanesQuietRoundZeroAlloc(t *testing.T) {
+	g := graph.RandomConnected(64, 150, 35)
+	l, err := Mark(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewCoastRunner(l, 9)
+	r.Eng.Parallel = false
+	budget := DetectionBudget(g.N())
+	settled := false
+	for i := 0; i < budget && !settled; i++ {
+		r.Step()
+		settled = true
+		for v := 0; v < g.N() && settled; v++ {
+			settled = r.Eng.State(v).(*VState).Hot().Coasting
+		}
+	}
+	if !settled {
+		t.Fatalf("network never fully certified within %d rounds", budget)
+	}
+
+	copies := r.Machine.LabelCopies()
+	for i := 0; i < 50; i++ {
+		r.Step()
+	}
+	if got := r.Machine.LabelCopies() - copies; got != 0 {
+		t.Fatalf("%d label copies over 50 quiet lane rounds, want 0", got)
+	}
+
+	if raceflag.Enabled {
+		t.Log("race instrumentation allocates; skipping the alloc gate")
+	} else if avg := testing.AllocsPerRun(100, func() { r.Step() }); avg != 0 {
+		t.Fatalf("quiet lane round allocates %.1f times, want 0", avg)
+	}
+}

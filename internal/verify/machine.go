@@ -57,52 +57,124 @@ type VState struct {
 	// quiet); exposed for experiments and diagnostics.
 	AlarmCode AlarmCode
 
-	// Coasting marks the certified-quiescent regime of coast mode (see
-	// coast.go): the node's step is pure clockwork until a tracked
-	// neighbourhood change melts it. It is a protocol mode flag and is
-	// counted in BitSize. CoastEpoch is the epoch the certification was
-	// stamped at (an engine-clock memo, like StaticEpoch); coastBits is the
-	// memoized orbit-maximum BitSize reported while coasting.
-	Coasting   bool
-	CoastEpoch int64 //ssmst:nobits -- engine-clock certification stamp
-	coastBits  int   //ssmst:nobits -- recomputable orbit-footprint memo
+	// hot is the struct image of the flattened hot fields — the static
+	// verdict memo, the labelBits memo and the coast certification block
+	// (see vhot). While the state is resident in a lane-bound engine the
+	// authoritative storage is the engine's lane rows (lanes.go) and this
+	// block is a working copy refreshed at the residency boundaries; in
+	// struct mode (Machine.NoLanes, direct StepCore calls) it IS the
+	// storage. nil means memo-empty, everything zero. The Coasting flag the
+	// block carries is protocol state counted in BitSize — the count flows
+	// through bitSizeFlat, which both BitSize and the lane measurement
+	// share.
+	hot *vhot //ssmst:nobits -- flattened hot block; the coast flag it carries is counted via bitSizeFlat
 
-	// Memoized static-layer verdict (incremental verification; see the
-	// package doc). The static label checks — neighbour presence, SP, size,
-	// hierarchy strings, train position labels — are a deterministic
-	// function of the labels of the closed neighbourhood, which change only
-	// under faults and label (re)installation; their verdict is therefore
-	// computed once and replayed until the engine's change tracking
-	// (runtime.View.MarkChanged / NeighbourhoodChangedSince) reports a
-	// neighbourhood label change. StaticEpoch is the View.Round the verdict
-	// was computed at; StaticWindow caches the label-derived Ask dwell
-	// window alongside it. These fields are a simulator-side memo of a
-	// recomputable predicate, not protocol memory — the verifier's outputs
-	// are bit-identical with memoization disabled (Machine.FullRecheck;
-	// TestIncrementalMatchesFullRecheck) — so BitSize excludes them, like
-	// the engine's double buffer.
-	StaticValid  bool      //ssmst:nobits -- recomputable static-verdict memo
-	StaticAlarm  bool      //ssmst:nobits
-	StaticCode   AlarmCode //ssmst:nobits
-	StaticWindow int       //ssmst:nobits
-	StaticEpoch  int64     //ssmst:nobits
-
-	// Simulator-side memo of label-derived measurements, maintained next to
-	// the static verdict (same lifetime: labels change only under faults and
-	// label installation). labelBits caches NodeLabels.BitSize — re-measured
-	// by the engine's instrumentation every round at every node, yet constant
-	// between label changes. samplerLevels caches J(v), the claimed-level
-	// list the sampler sweeps. Both are invalidated by every full label copy
-	// (CopyFrom), by Clone, and by InvalidateMemo (which the engine calls on
-	// SetState/Corrupt and ApplyFault calls on direct mutation); the memo-hit
-	// label-copy elision is the only path that carries them across rounds,
-	// and it runs exactly when the labels are provably unchanged. Like the
-	// Static block these fields are recomputable caches, not protocol
-	// memory, so BitSize excludes them.
-	labelBits     int
-	labelBitsOK   bool
+	// samplerLevels caches J(v), the claimed-level list the sampler sweeps
+	// (label-derived, same lifetime as the labelBits memo in hot). It is
+	// invalidated by every full label copy (CopyFrom), by Clone, and by
+	// InvalidateMemo (which the engine calls on SetState/Corrupt and
+	// ApplyFault calls on direct mutation); the memo-hit label-copy elision
+	// is the only path that carries it across rounds, and it runs exactly
+	// when the labels are provably unchanged. A recomputable cache, not
+	// protocol memory, so BitSize excludes it.
 	samplerLevels []int //ssmst:nobits -- recomputable claimed-level memo
 	samplerMemoOK bool  //ssmst:nobits
+}
+
+// vhot is the block of per-node fields the ENGINE traverses every round —
+// flattened into engine-owned lanes in PR 9 (see lanes.go). Grouping them in
+// one allocated-once block keeps VState's header copy (*s = *src) from
+// dragging them along and gives the lane spill/store a single image to move.
+//
+//   - The static-verdict memo (incremental verification; see the package
+//     doc): the static label checks — neighbour presence, SP, size,
+//     hierarchy strings, train position labels — are a deterministic
+//     function of the labels of the closed neighbourhood, which change only
+//     under faults and label (re)installation; their verdict is computed
+//     once and replayed until the engine's change tracking
+//     (runtime.View.MarkChanged / NeighbourhoodChangedSince) reports a
+//     neighbourhood label change. staticEpoch is the View.Round the verdict
+//     was computed at; staticWindow caches the label-derived Ask dwell
+//     window alongside it. A simulator-side memo of a recomputable
+//     predicate, not protocol memory — the verifier's outputs are
+//     bit-identical with memoization disabled (Machine.FullRecheck;
+//     TestIncrementalMatchesFullRecheck) — so BitSize excludes it.
+//   - labelBits caches NodeLabels.BitSize — re-measured by the engine's
+//     instrumentation every round at every node, yet constant between label
+//     changes. Same lifetime and exclusion as the static block.
+//   - The coast block (see coast.go): coasting marks the certified-quiescent
+//     regime — the node's step is pure clockwork until a tracked
+//     neighbourhood change melts it. It is a protocol mode flag and is
+//     counted in BitSize (via bitSizeFlat). coastEpoch is the epoch the
+//     certification was stamped at (an engine-clock memo, like staticEpoch);
+//     coastBits is the memoized orbit-maximum BitSize reported while
+//     coasting.
+type vhot struct {
+	staticValid  bool
+	staticAlarm  bool
+	staticCode   AlarmCode
+	staticWindow int
+	staticEpoch  int64
+	labelBits    int
+	labelBitsOK  bool
+	coasting     bool
+	coastEpoch   int64
+	coastBits    int
+}
+
+// ensureHot returns s's hot block, materializing an empty one on first use.
+// A state allocates it at most once; every copy path recycles the block.
+//
+//ssmst:hotpath
+func (s *VState) ensureHot() *vhot {
+	if s.hot == nil {
+		s.hot = new(vhot) //ssmst:allow hotpathalloc -- at most once per state lifetime; recycled with the state
+	}
+	return s.hot
+}
+
+// HotState is a read-only snapshot of the flattened hot fields plus the
+// three transit registers — the external (test/experiment) window onto state
+// that PR 9 moved out of VState's exported fields.
+type HotState struct {
+	StaticValid  bool
+	StaticAlarm  bool
+	StaticCode   AlarmCode
+	StaticWindow int
+	StaticEpoch  int64
+	LabelBits    int
+	LabelBitsOK  bool
+	Coasting     bool
+	CoastEpoch   int64
+	CoastBits    int
+	CandPort     int
+	AlarmFlag    bool
+	AlarmCode    AlarmCode
+}
+
+// Hot snapshots s's hot block (zero if never materialized) and transit
+// registers. For engine-resident states, read through Engine.State so the
+// lane rows are spilled first.
+func (s *VState) Hot() HotState {
+	var h vhot
+	if s.hot != nil {
+		h = *s.hot
+	}
+	return HotState{
+		StaticValid:  h.staticValid,
+		StaticAlarm:  h.staticAlarm,
+		StaticCode:   h.staticCode,
+		StaticWindow: h.staticWindow,
+		StaticEpoch:  h.staticEpoch,
+		LabelBits:    h.labelBits,
+		LabelBitsOK:  h.labelBitsOK,
+		Coasting:     h.coasting,
+		CoastEpoch:   h.coastEpoch,
+		CoastBits:    h.coastBits,
+		CandPort:     s.CandPort,
+		AlarmFlag:    s.AlarmFlag,
+		AlarmCode:    s.AlarmCode,
+	}
 }
 
 // AlarmCode identifies the verifier layer that raised an alarm.
@@ -147,6 +219,14 @@ func (s *VState) Alarm() bool { return s.AlarmFlag }
 // alias the clone to the original).
 func (s *VState) Clone() runtime.State {
 	c := *s
+	if s.hot != nil {
+		// Never share the hot block (the struct copy above aliased it): the
+		// clone gets its own, carrying the same image — InvalidateMemo below
+		// then clears the gate fields exactly as it always has, leaving the
+		// gated verdict content comparable across configurations.
+		c.hot = new(vhot)
+		*c.hot = *s.hot
+	}
 	c.L = s.L.Clone()
 	c.InvalidateMemo()
 	return &c
@@ -158,16 +238,22 @@ func (s *VState) Clone() runtime.State {
 // mutated behind the step function is re-measured and re-checked from
 // scratch. Protocol-visible fields are untouched.
 func (s *VState) InvalidateMemo() {
-	s.StaticValid = false
-	s.labelBits = 0
-	s.labelBitsOK = false
+	if h := s.hot; h != nil {
+		h.staticValid = false
+		h.labelBits = 0
+		h.labelBitsOK = false
+		// Injected, cloned or topology-touched states start awake: the coast
+		// certification was computed over content that may no longer exist.
+		// The gated verdict content (staticAlarm/staticCode/staticWindow,
+		// staticEpoch) stays — unreachable behind staticValid, and keeping it
+		// makes invalidation bit-identical between struct and lane residency
+		// (Lanes.ClearRow clears the same gate fields and no more).
+		h.coasting = false
+		h.coastEpoch = 0
+		h.coastBits = 0
+	}
 	s.samplerLevels = nil
 	s.samplerMemoOK = false
-	// Injected, cloned or topology-touched states start awake: the coast
-	// certification was computed over content that may no longer exist.
-	s.Coasting = false
-	s.CoastEpoch = 0
-	s.coastBits = 0
 }
 
 // RemapPorts implements runtime.PortRemapper: after a topology mutation
@@ -204,8 +290,9 @@ func (s *VState) RemapPorts(oldToNew []int) {
 //
 //ssmst:hotpath
 func (s *VState) CopyFrom(src *VState) {
-	l, lv := s.L, s.samplerLevels
+	l, lv, h := s.L, s.samplerLevels, s.hot
 	*s = *src
+	s.copyHotFrom(src, h)
 	s.samplerLevels = lv[:0]
 	s.samplerMemoOK = false
 	switch {
@@ -219,6 +306,27 @@ func (s *VState) CopyFrom(src *VState) {
 	}
 }
 
+// copyHotFrom installs src's hot image into s by value, recycling s's own
+// block. own is s's pre-copy hot pointer, saved by the caller across the
+// *s = *src header copy (which drags src's pointer in); sharing the block
+// itself would alias two live states' memos.
+//
+//ssmst:hotpath
+func (s *VState) copyHotFrom(src *VState, own *vhot) {
+	if src.hot == nil {
+		s.hot = own
+		if own != nil {
+			*own = vhot{}
+		}
+		return
+	}
+	if own == nil {
+		own = new(vhot) //ssmst:allow hotpathalloc -- at most once per recycled state lifetime
+	}
+	*own = *src.hot
+	s.hot = own
+}
+
 // copyFromKeepingLabels is CopyFrom minus the deep label copy: s keeps its
 // own label block and claimed-level memo untouched. Only the memo-hit
 // in-place step may use it, and only when the caller has proved (via the
@@ -227,8 +335,9 @@ func (s *VState) CopyFrom(src *VState) {
 //
 //ssmst:hotpath
 func (s *VState) copyFromKeepingLabels(src *VState) {
-	l, lv, mok := s.L, s.samplerLevels, s.samplerMemoOK
+	l, lv, mok, h := s.L, s.samplerLevels, s.samplerMemoOK, s.hot
 	*s = *src
+	s.copyHotFrom(src, h)
 	s.L, s.samplerLevels, s.samplerMemoOK = l, lv, mok
 }
 
@@ -241,26 +350,36 @@ func (s *VState) copyFromKeepingLabels(src *VState) {
 // O(log n) label walk is paid once per label change instead of once per
 // round (every mutation path resets the memo — see InvalidateMemo).
 func (s *VState) BitSize() int {
-	if s.Coasting && s.coastBits > 0 {
+	h := s.ensureHot()
+	if h.coasting && h.coastBits > 0 {
 		// Coast mode: report the memoized orbit maximum (coastFootprint).
 		// Constant while coasting, so a worklist engine that measures only
 		// at certification and wake sees the same high-water mark as the
 		// dense engine re-measuring every round.
-		return s.coastBits
+		return h.coastBits
 	}
-	if !s.labelBitsOK {
-		s.labelBits = s.L.BitSize()
-		s.labelBitsOK = true
+	if !h.labelBitsOK {
+		h.labelBits = s.L.BitSize()
+		h.labelBitsOK = true
 	}
-	// Straight sum, same reasoning as train.State.BitSize: this runs for
-	// every node every round. Each flag is counted through bits.Flag
-	// (inlined to 1) so bitsizeaudit can tie the accounting to the fields.
-	return bits.Flag(s.AskValid) + bits.Flag(s.Want.Valid) + bits.Flag(s.AlarmFlag) +
-		bits.Flag(s.Coasting) +
+	return s.bitSizeFlat(h.labelBits, s.CandPort, s.AlarmFlag, h.coasting)
+}
+
+// bitSizeFlat is the width formula over the struct-resident registers plus
+// the four lane-resident inputs, passed in so BitSize (struct image) and
+// Lanes.MeasureRow (lane rows) share one accounting. Straight sum, same
+// reasoning as train.State.BitSize: this runs for every node every round.
+// Each flag is counted through bits.Flag (inlined to 1) so bitsizeaudit can
+// tie the accounting to the fields.
+//
+//ssmst:hotpath
+func (s *VState) bitSizeFlat(labelBits, candPort int, alarmFlag, coasting bool) int {
+	return bits.Flag(s.AskValid) + bits.Flag(s.Want.Valid) + bits.Flag(alarmFlag) +
+		bits.Flag(coasting) +
 		s.AlarmCode.BitSize() +
 		bits.ForInt(int64(s.MyID)) +
 		bits.ForInt(int64(s.ParentPort)) +
-		s.labelBits +
+		labelBits +
 		s.TopS.BitSize() +
 		s.BotS.BitSize() +
 		bits.ForInt(int64(s.AskIdx)) +
@@ -270,7 +389,7 @@ func (s *VState) BitSize() int {
 		bits.ForInt(int64(s.ServerCur)) +
 		bits.ForInt(int64(s.ServerTmr)) +
 		bits.ForInt(int64(s.Want.ServerID)) + bits.ForInt(int64(s.Want.Level)) +
-		bits.ForInt(int64(s.CandPort))
+		bits.ForInt(int64(candPort))
 }
 
 func pieceSize(p hierarchy.Piece) int {
@@ -341,6 +460,13 @@ type Machine struct {
 	// that compare engine configurations against each other.
 	CoastAfter int
 
+	// NoLanes keeps the hot fields on struct storage: BindLanes binds
+	// nothing and the engine falls back to per-state measurement and struct
+	// memos. This is the reference residency the lane-vs-struct parity
+	// suite (lanes_parity_test.go) steps against the default lane build;
+	// the two are bit-identical in every protocol-visible observable.
+	NoLanes bool
+
 	// staticRecomputes counts static-layer recomputations (memo misses)
 	// across all nodes and rounds — the observable that incremental tests
 	// pin down ("a quiet network recomputes n times total, not n per
@@ -383,6 +509,10 @@ func (a runtimeView) Neighbour(port int) *VState {
 	return nil
 }
 func (a runtimeView) StepEpoch() int64 { return int64(a.v.Round()) }
+func (a runtimeView) VerifierLanes() (*Lanes, int) {
+	return LanesOf(a.v.Lanes()), a.v.Node()
+}
+func (a runtimeView) NeighbourNode(port int) int { return a.v.NeighbourNode(port) }
 func (a runtimeView) LabelsChangedSince(epoch int64) bool {
 	return a.v.NeighbourhoodChangedSince(epoch)
 }
@@ -509,21 +639,72 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	if tracked {
 		epoch = tr.StepEpoch()
 	}
+	// Lane residency: when the view belongs to a lane-bound engine, the
+	// authoritative pre-state image of the flattened fields is the node's
+	// read-buffer row (old's struct may be stale — lane engines spill only
+	// at observation boundaries), and dst's write-buffer row carries what
+	// dst's struct memo carries in struct mode. The four values the entry
+	// guards need are read mode-dispatched into locals; after the header
+	// copy the full row is spilled into dst and the body runs uniformly on
+	// dst's struct image, scattered back to the write row at every exit.
+	var vl *Lanes
+	row := 0
+	lview, _ := v.(laneView)
+	if lview != nil {
+		vl, row = lview.VerifierLanes()
+	}
+	var oldCoasting, dstStaticValid bool
+	var oldCoastEpoch, dstStaticEpoch int64
+	if vl != nil {
+		oldCoasting = vl.coasting.Row(false)[row]
+		oldCoastEpoch = vl.coastEpoch.Row(false)[row]
+		dstStaticValid = vl.staticValid.Row(true)[row]
+		dstStaticEpoch = vl.staticEpoch.Row(true)[row]
+	} else {
+		if h := old.hot; h != nil {
+			oldCoasting, oldCoastEpoch = h.coasting, h.coastEpoch
+		}
+		if h := dst.hot; h != nil {
+			dstStaticValid, dstStaticEpoch = h.staticValid, h.staticEpoch
+		}
+	}
 	coastOn := tracked && m.Coast && !m.FullRecheck && m.Mode == Sync
-	if coastOn && old.Coasting && !tr.LabelsChangedSince(old.CoastEpoch) {
+	if coastOn && oldCoasting && !tr.LabelsChangedSince(oldCoastEpoch) {
 		// Coast branch: the node is certified quiescent and nothing tracked
 		// in its 1-hop neighbourhood changed since certification — its step
 		// is pure clockwork (coast.go). This is exactly what a worklist
 		// engine replays in closed form when it skips the node, so dense and
 		// sparse stepping are bit-identical by construction.
-		if dst.StaticValid && dst.L != nil && dst.MyID == old.MyID &&
-			dst.StaticEpoch <= epoch && !tr.LabelsChangedSince(dst.StaticEpoch) {
+		if dstStaticValid && dst.L != nil && dst.MyID == old.MyID &&
+			dstStaticEpoch <= epoch && !tr.LabelsChangedSince(dstStaticEpoch) {
 			dst.copyFromKeepingLabels(old)
 		} else {
 			m.labelCopies.Add(1)
 			dst.CopyFrom(old)
 		}
-		m.coastTick(dst)
+		if vl != nil {
+			// Row carry, not a full spill/store round-trip: a coast tick
+			// mutates exactly one lane-resident field (CandPort, on a dwell
+			// wrap), so the write row only needs the full 13-lane copy when it
+			// is not already a faithful image of this coasting streak. The
+			// guard detects that by streak identity: every step that leaves or
+			// enters coasting writes its complete row (melt and certification
+			// run the full-step path below), certification epochs are distinct
+			// per round, and in-streak rows diverge from the read row in
+			// CandPort alone — which the fast path refreshes unconditionally.
+			if !(vl.coasting.Row(true)[row] && vl.coastEpoch.Row(true)[row] == oldCoastEpoch) {
+				vl.CopyRow(row)
+			}
+			// coastTick's two lane inputs, read straight off the rows; the
+			// struct image of a lane-resident node is refreshed only at
+			// observation boundaries and full steps.
+			dst.ensureHot().staticWindow = int(vl.staticWindow.Row(false)[row])
+			dst.CandPort = int(vl.candPort.Row(false)[row])
+			m.coastTick(dst)
+			vl.candPort.Row(true)[row] = int32(dst.CandPort)
+		} else {
+			m.coastTick(dst)
+		}
 		return dst
 	}
 	// Memo-hit label-copy elision. dst is the recycled two-rounds-old state
@@ -539,9 +720,9 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	// unconditionally: it is the check-everything, copy-everything
 	// reference the elided path is cross-checked against.
 	persistMemo := true
-	if tracked && !m.FullRecheck && dst.StaticValid &&
+	if tracked && !m.FullRecheck && dstStaticValid &&
 		dst.L != nil && old.L != nil && dst.MyID == old.MyID &&
-		dst.StaticEpoch <= epoch && !tr.LabelsChangedSince(dst.StaticEpoch) {
+		dstStaticEpoch <= epoch && !tr.LabelsChangedSince(dstStaticEpoch) {
 		dst.copyFromKeepingLabels(old)
 	} else {
 		// A fresh dst (the clone path, or a cold scratch slot) is discarded
@@ -552,15 +733,19 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 		m.labelCopies.Add(1)
 		dst.CopyFrom(old)
 	}
+	if vl != nil {
+		vl.SpillRow(row, dst)
+	}
 	s := dst
-	if s.Coasting {
+	h := s.ensureHot()
+	if h.coasting {
 		// Melt: a tracked change reached the neighbourhood (or coast mode
 		// was disabled) — wake into a full step and mark the wake itself, so
 		// neighbouring coasters melt one hop further next round (detection
 		// liveness: the wave reaches every node that must observe a fault).
-		s.Coasting = false
-		s.CoastEpoch = 0
-		s.coastBits = 0
+		h.coasting = false
+		h.coastEpoch = 0
+		h.coastBits = 0
 		if tracked {
 			tr.MarkLabelsChanged()
 		}
@@ -578,6 +763,9 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	if n < 2 {
 		s.AlarmFlag = true
 		s.AlarmCode = AlarmSize
+		if vl != nil {
+			vl.StoreRow(row, s, true)
+		}
 		return s
 	}
 	deg := v.Degree()
@@ -603,13 +791,13 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	// history (StaticEpoch ≤ epoch — a state transplanted from a foreign
 	// run via SetState may carry any stamp) and nothing in the closed
 	// neighbourhood changed since the stamp.
-	if tracked && !m.FullRecheck && s.StaticValid && s.ParentPort < deg &&
-		s.StaticEpoch <= epoch && !tr.LabelsChangedSince(s.StaticEpoch) {
+	if tracked && !m.FullRecheck && h.staticValid && s.ParentPort < deg &&
+		h.staticEpoch <= epoch && !tr.LabelsChangedSince(h.staticEpoch) {
 		// Memo hit: replay the static verdict. ParentPort is settled (< deg:
 		// the corrupted-port repair marks the node dirty, so a repaired or
 		// re-corrupted port always forces the miss path first).
-		if s.StaticAlarm {
-			alarm, code = true, s.StaticCode
+		if h.staticAlarm {
+			alarm, code = true, h.staticCode
 		}
 		isRoot = s.ParentPort < 0
 		if !isRoot && nbs[s.ParentPort].ok {
@@ -620,7 +808,7 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 		// pinned at their first computation and one fault anywhere would
 		// disable the engine's O(1) all-quiet short-circuit
 		// (maxDirty ≤ epoch) for the rest of the run.
-		s.StaticEpoch = epoch
+		h.staticEpoch = epoch
 	} else {
 		m.staticRecomputes.Add(1)
 		if missing {
@@ -698,11 +886,11 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 		}
 
 		// Memoize the static verdict and the label-derived dwell window.
-		s.StaticValid = true
-		s.StaticAlarm = alarm
-		s.StaticCode = code
-		s.StaticWindow = dwellWindow(s, nbs)
-		s.StaticEpoch = epoch
+		h.staticValid = true
+		h.staticAlarm = alarm
+		h.staticCode = code
+		h.staticWindow = dwellWindow(s, nbs)
+		h.staticEpoch = epoch
 	}
 
 	// ---- Layer 4: the trains (dynamic; every round). The coverage checks
@@ -762,17 +950,38 @@ func (m *Machine) StepInto(dst *VState, v NodeView, sc *Scratch) *VState {
 	// quiet, whose memos are settled, whose own and neighbours' trains are
 	// parked, and whose whole sampler orbit is provably clean against the
 	// frozen neighbourhood freezes into clockwork.
-	if restOK && !alarm && !s.Coasting && s.StaticValid && !s.StaticAlarm &&
+	if restOK && !alarm && !h.coasting && h.staticValid && !h.staticAlarm &&
 		s.samplerMemoOK &&
 		train.AtRest(&s.TopS, &s.L.Train.Top) && train.AtRest(&s.BotS, &s.L.Train.Bottom) &&
-		lineageFrozen(s, parent) &&
+		lineageFrozen(s, parent, parentCoasting(vl, lview, s, parent)) &&
 		neighboursAtRest(nbs) &&
 		m.samplerOrbitClean(v, s, nbs, levels, n) {
-		s.Coasting = true
-		s.CoastEpoch = epoch
-		s.coastBits = m.coastFootprint(s)
+		h.coasting = true
+		h.coastEpoch = epoch
+		h.coastBits = m.coastFootprint(s)
+	}
+	if vl != nil {
+		vl.StoreRow(row, s, true)
 	}
 	return s
+}
+
+// parentCoasting reads the parent's coast flag for the certification
+// cascade. In lane residency the parent's struct image may be stale (lane
+// engines spill on observation, not per round) and must not be read from a
+// worker anyway — the authoritative, data-race-free source is the parent's
+// read-buffer lane row, immutable for the whole round. Struct mode reads
+// the parent's hot block, which IS authoritative there.
+//
+//ssmst:hotpath
+func parentCoasting(vl *Lanes, lview laneView, s *VState, parent *VState) bool {
+	if parent == nil {
+		return false
+	}
+	if vl != nil {
+		return vl.Coasting(lview.NeighbourNode(s.ParentPort))
+	}
+	return parent.hot != nil && parent.hot.coasting
 }
 
 // staticCoverageAlarm handles the degenerate train sizes the wrap-based

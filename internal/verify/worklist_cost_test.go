@@ -2,6 +2,7 @@ package verify
 
 import (
 	"math/rand"
+	"ssmst/internal/raceflag"
 	"testing"
 
 	"ssmst/internal/graph"
@@ -50,7 +51,7 @@ func TestWorklistQuietRoundCost(t *testing.T) {
 	}
 
 	// Gate 2: zero heap allocations per quiet round.
-	if raceEnabled {
+	if raceflag.Enabled {
 		t.Log("race instrumentation allocates; skipping the alloc gate")
 	} else if avg := testing.AllocsPerRun(100, func() { r.Step() }); avg != 0 {
 		t.Fatalf("quiet coasted round allocates %.1f times, want 0", avg)
