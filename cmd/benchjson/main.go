@@ -422,7 +422,7 @@ func main() {
 		// predating the campaign sweep skip the comparison explicitly.
 		baseCampaign := campaignRows(base)
 		if len(baseCampaign) == 0 {
-			fmt.Printf("bench guard: baseline %s has no campaign rows (predates the fault-campaign sweep); campaign comparison skipped\n", *baseline)
+			fmt.Printf("bench guard: baseline %s has no (family=*, k=*) campaign rows (predates the fault-campaign sweep); campaign comparison skipped\n", *baseline)
 		} else {
 			for _, want := range baseCampaign {
 				got := findCampaignRow(&rep, want.Family, want.K)
@@ -449,8 +449,8 @@ func main() {
 			}
 			got := findMCRow(&rep, want.Path, want.N, want.GoMaxProcs)
 			if got == nil {
-				fmt.Printf("bench guard: baseline row (%s, n=%d, gomaxprocs=%d) not measured in this run; comparison skipped\n",
-					want.Path, want.N, want.GoMaxProcs)
+				fmt.Printf("bench guard: baseline %s row (%s, n=%d, gomaxprocs=%d) not measured in this run; comparison skipped\n",
+					*baseline, want.Path, want.N, want.GoMaxProcs)
 				mcSkipped++
 				continue
 			}
@@ -475,7 +475,7 @@ func main() {
 		if mcChecked > 0 || mcSkipped > 0 {
 			fmt.Printf("bench guard: %d multi-core rows match baseline (%d skipped)\n", mcChecked, mcSkipped)
 		} else {
-			fmt.Printf("bench guard: baseline %s has no multi-core rows (predates the PR 9 scaling table); mc comparison skipped\n", *baseline)
+			fmt.Printf("bench guard: baseline %s has no (mc-quiet, mc-detect) rows (predates the PR 9 scaling table); mc comparison skipped\n", *baseline)
 		}
 		if findRow(&rep, "oracle") == nil {
 			log.Fatalf("bench guard: measurement produced no (n=%d, oracle) baseline row", guardN)

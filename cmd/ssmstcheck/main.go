@@ -1,12 +1,21 @@
 // Command ssmstcheck runs the ssmst invariant analyzers (hotpathalloc,
-// memocontract, determinism, bitsizeaudit) over the module and exits
-// non-zero on any finding.
+// memocontract, determinism, bitsizeaudit, bufferdiscipline, lanecontract,
+// coastpure) over the module and exits non-zero on any finding.
 //
 // Usage:
 //
 //	go run ./cmd/ssmstcheck ./...            # whole module (CI invocation)
 //	go run ./cmd/ssmstcheck ./internal/verify
 //	go run ./cmd/ssmstcheck -a bitsizeaudit ./...
+//	go run ./cmd/ssmstcheck -json -variants race_on ./...
+//
+// Each variant in -variants is one build-tag configuration, loaded and
+// type-checked from scratch so tag-gated files (internal/raceflag) are
+// audited in every shipped shape. Diagnostics are merged across variants,
+// deduplicated, and printed in a stable position order.
+//
+// Exit codes: 0 — clean; 1 — findings; 2 — the run itself failed (bad
+// flags, load/type-check error, or an analyzer error).
 //
 // The driver is self-contained on the standard library (see
 // internal/analysis): it is not a `go vet -vettool` plugin because the
@@ -15,22 +24,36 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"ssmst/internal/analysis"
 )
 
+// variantTags maps the CI variant names onto the build tags they assert.
+var variantTags = map[string][]string{
+	"race_off": nil,
+	"race_on":  {"race"},
+}
+
 func main() {
-	var only string
+	var (
+		only     string
+		asJSON   bool
+		variants string
+	)
 	flag.StringVar(&only, "a", "", "comma-separated analyzer names to run (default: all)")
+	flag.BoolVar(&asJSON, "json", false, "emit findings as a JSON array on stdout")
+	flag.StringVar(&variants, "variants", "race_off,race_on", "comma-separated build-tag variants to audit (race_off, race_on)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ssmstcheck [-a analyzers] [./... | packages...]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: ssmstcheck [-a analyzers] [-json] [-variants race_off,race_on] [./... | packages...]\n\nanalyzers:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
@@ -48,25 +71,101 @@ func main() {
 		}
 	}
 
-	loader, err := analysis.NewLoader(".")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssmstcheck:", err)
-		os.Exit(2)
+	start := time.Now()
+	var merged []analysis.Diagnostic
+	loaded := 0
+	names := strings.Split(variants, ",")
+	for _, v := range names {
+		v = strings.TrimSpace(v)
+		tags, ok := variantTags[v]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ssmstcheck: unknown variant %q (known: race_off, race_on)\n", v)
+			os.Exit(2)
+		}
+
+		loader, err := analysis.NewLoader(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssmstcheck: %s: %v\n", v, err)
+			os.Exit(2)
+		}
+		loader.Tags = tags
+
+		pkgs, err := load(loader, flag.Args())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssmstcheck: %s: %v\n", v, err)
+			os.Exit(2)
+		}
+		loaded = len(pkgs)
+
+		diags := analysis.Run(pkgs, analyzers, analysis.DefaultConfig())
+		for _, d := range diags {
+			// An analyzer that errored is a broken run, not a finding.
+			if strings.HasPrefix(d.Message, "analyzer error:") {
+				fmt.Fprintf(os.Stderr, "ssmstcheck: %s: [%s] %s\n", v, d.Analyzer, d.Message)
+				os.Exit(2)
+			}
+		}
+		merged = append(merged, diags...)
 	}
 
-	pkgs, err := load(loader, flag.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssmstcheck:", err)
-		os.Exit(2)
+	diags := dedup(merged)
+	if asJSON {
+		printJSON(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
-
-	diags := analysis.Run(pkgs, analyzers, analysis.DefaultConfig())
-	for _, d := range diags {
-		fmt.Println(d)
-	}
+	fmt.Fprintf(os.Stderr, "ssmstcheck: %d analyzer(s) × %d package(s) × %d variant(s) in %v\n",
+		len(analyzers), loaded, len(names), time.Since(start).Round(time.Millisecond))
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ssmstcheck: %d finding(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// dedup drops findings that repeat across variant runs (files not gated on
+// any tag are loaded and analyzed once per variant). Input is a
+// concatenation of per-variant runs, each already position-sorted; output
+// keeps that order with exact duplicates removed.
+func dedup(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	seen := map[analysis.Diagnostic]bool{}
+	out := diags[:0]
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return analysis.Sort(out)
+}
+
+// jsonDiag is the stable machine-readable finding shape for -json.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func printJSON(diags []analysis.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmstcheck:", err)
+		os.Exit(2)
 	}
 }
 

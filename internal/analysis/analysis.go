@@ -2,19 +2,29 @@
 // ssmstcheck analyzer suite: compile-time enforcement of the engine's
 // hand-maintained invariant contracts (zero-alloc hot paths, the
 // MemoInvalidator invalidation protocol, deterministic stepping, complete
-// BitSize accounting).
+// BitSize accounting, double-buffer write ownership, lane residency, and
+// closed-form coast replay).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer owns a Run function over a type-checked Pass — but is built
 // on go/ast + go/types + go/importer only, so the module keeps zero
-// external dependencies. See DESIGN.md § "Invariant contracts" in
-// internal/runtime for the contracts themselves.
+// external dependencies. Since PR 10 the per-function AST pattern checks
+// share a flow layer (flow.go): an intra-package callgraph with
+// reachability closures, bounded callee expansion, and a per-function
+// value-classification fixpoint that tracks what locals derive from
+// (snapshot pointers, row indices, lane rows). See DESIGN.md § "Invariant
+// contracts" and § "Static analysis" in internal/runtime for the contracts
+// themselves.
 //
 // # Annotations
 //
 // Source code talks back to the analyzers through //ssmst: comments:
 //
 //	//ssmst:hotpath            (func decl)  function must not allocate
+//	                                        (hotpathalloc) and is step code
+//	                                        held to the double-buffer
+//	                                        ownership rules
+//	                                        (bufferdiscipline)
 //	//ssmst:nobits             (field)      simulator-side cache, excluded
 //	                                        from BitSize accounting
 //	//ssmst:tracked            (field)      memo-bearing state derives from
@@ -22,10 +32,28 @@
 //	                                        with InvalidateMemo/MarkChanged
 //	//ssmst:memosafe           (func decl)  the function's callers own the
 //	                                        memo invalidation pairing
+//	//ssmst:ownwrite           (func decl)  sanctioned lane-row writer: its
+//	                                        int parameters denote the
+//	                                        node's own row; call sites must
+//	                                        not pass neighbour-derived
+//	                                        indices (bufferdiscipline)
+//	//ssmst:lane               (field)      declared struct-resident
+//	                                        working copy of a lane column,
+//	                                        refreshed at residency
+//	                                        boundaries (lanecontract)
+//	//ssmst:lane               (func decl)  full-width row mover: must
+//	                                        touch every lane column of its
+//	                                        receiver (lanecontract)
+//	//ssmst:coastpure          (func decl)  coast-replay root: the function
+//	                                        and everything it reaches in
+//	                                        the package must be a
+//	                                        side-effect-free closed form
+//	                                        (coastpure)
 //	//ssmst:allow <analyzer> [-- reason]    suppress findings of the named
-//	                                        analyzer on this line (or on
-//	                                        the line directly below when
-//	                                        the comment stands alone)
+//	                                        analyzer(s, comma-separated) on
+//	                                        this line (or on the line
+//	                                        directly below when the comment
+//	                                        stands alone)
 //
 // Annotations must be attached exactly as listed; the meta test in this
 // package walks the real tree and rejects stray or misplaced ones.
@@ -138,11 +166,14 @@ func (p *Pass) allowedAt(pos token.Position) bool {
 
 // Annotation names (the part after "//ssmst:").
 const (
-	AnnHotpath  = "hotpath"
-	AnnNoBits   = "nobits"
-	AnnTracked  = "tracked"
-	AnnMemoSafe = "memosafe"
-	AnnAllow    = "allow"
+	AnnHotpath   = "hotpath"
+	AnnNoBits    = "nobits"
+	AnnTracked   = "tracked"
+	AnnMemoSafe  = "memosafe"
+	AnnOwnWrite  = "ownwrite"
+	AnnLane      = "lane"
+	AnnCoastPure = "coastpure"
+	AnnAllow     = "allow"
 )
 
 // directivePrefix starts every annotation comment.
@@ -251,6 +282,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 			}
 		}
 	}
+	return Sort(diags)
+}
+
+// Sort orders findings by position, then analyzer, then message — the
+// stable output order of one run and of merged multi-variant runs.
+func Sort(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -262,14 +299,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, MemoContract, Determinism, BitSizeAudit}
+	return []*Analyzer{
+		HotPathAlloc, MemoContract, Determinism, BitSizeAudit,
+		BufferDiscipline, LaneContract, CoastPure,
+	}
 }
 
 // ByName returns the analyzer with the given name, nil if unknown.

@@ -41,31 +41,27 @@ const bitSizeCallDepth = 3
 
 func runBitSizeAudit(pass *Pass) error {
 	// Struct declarations of this package, keyed by their type object, so
-	// the method check can reach field annotations.
+	// the method check can reach field annotations. Callee bodies resolve
+	// through the shared flow-layer index.
 	structDecls := map[*types.TypeName]*ast.StructType{}
-	// Function and method declarations, keyed by their func object, so the
-	// audit can expand same-package calls into their bodies.
-	funcDecls := map[*types.Func]*ast.FuncDecl{}
+	funcDecls := pass.funcIndex()
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				if fo, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok && d.Body != nil {
-					funcDecls[fo] = d
+			d, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
 				}
-			case *ast.GenDecl:
-				for _, spec := range d.Specs {
-					ts, ok := spec.(*ast.TypeSpec)
-					if !ok {
-						continue
-					}
-					st, ok := ts.Type.(*ast.StructType)
-					if !ok {
-						continue
-					}
-					if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
-						structDecls[tn] = st
-					}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					structDecls[tn] = st
 				}
 			}
 		}

@@ -7,13 +7,16 @@ import (
 	"testing"
 )
 
-// wantRe extracts the expectation regexp from a `// want "re"` comment.
-var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+// wantItemRe extracts one expectation from a `// want` comment: a message
+// regexp in quotes, optionally prefixed by the analyzer that must report it
+// (`coastpure:"per-tick loop"`). One comment may carry several items.
+var wantItemRe = regexp.MustCompile(`(?:([a-z]+):)?"((?:[^"\\]|\\.)*)"`)
 
 // runFixture loads the fixture module under testdata/src/<name>, runs the
 // analyzers over it, and checks the findings against the fixture's
-// `// want "regexp"` comments: every finding must match a want on its
-// line, and every want must be matched by at least one finding.
+// `// want [analyzer:]"regexp"` comments: every finding must match a want
+// on its line (name included, when the want pins one), and every want must
+// be matched by at least one finding.
 func runFixture(t *testing.T, name string, analyzers []*Analyzer, cfg Config) {
 	t.Helper()
 	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
@@ -30,26 +33,33 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer, cfg Config) {
 	}
 
 	type want struct {
-		re      *regexp.Regexp
-		matched bool
-		line    int
-		file    string
+		analyzer string // "" matches any analyzer
+		re       *regexp.Regexp
+		matched  bool
+		line     int
+		file     string
 	}
 	var wants []*want
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, g := range f.Comments {
 				for _, c := range g.List {
-					m := wantRe.FindStringSubmatch(c.Text)
-					if m == nil {
+					rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+					if !ok {
 						continue
 					}
-					re, err := regexp.Compile(m[1])
-					if err != nil {
-						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					items := wantItemRe.FindAllStringSubmatch(rest, -1)
+					if items == nil {
+						t.Fatalf("malformed want comment %q", c.Text)
 					}
 					pos := pkg.Fset.Position(c.Pos())
-					wants = append(wants, &want{re: re, line: pos.Line, file: pos.Filename})
+					for _, m := range items {
+						re, err := regexp.Compile(m[2])
+						if err != nil {
+							t.Fatalf("bad want regexp %q: %v", m[2], err)
+						}
+						wants = append(wants, &want{analyzer: m[1], re: re, line: pos.Line, file: pos.Filename})
+					}
 				}
 			}
 		}
@@ -59,6 +69,9 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer, cfg Config) {
 	for _, d := range diags {
 		found := false
 		for _, w := range wants {
+			if w.analyzer != "" && w.analyzer != d.Analyzer {
+				continue
+			}
 			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
 				w.matched = true
 				found = true
@@ -70,7 +83,11 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer, cfg Config) {
 	}
 	for _, w := range wants {
 		if !w.matched {
-			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+			name := w.analyzer
+			if name == "" {
+				name = "any analyzer"
+			}
+			t.Errorf("%s:%d: expected a finding from %s matching %q, got none", w.file, w.line, name, w.re)
 		}
 	}
 }
@@ -84,11 +101,25 @@ func TestMemoContractFixture(t *testing.T) {
 }
 
 // TestLazyClockFixture pins the worklist engine's lazy-clock write pattern
-// (PR 8): a closed-form clock advance is hot-path clean and touches no
-// tracked state; the journaling and label-repairing degradations are
-// flagged by the existing analyzers with no new rules.
+// (PR 8): a closed-form clock advance is a clean coast replay; the
+// journaling and label-repairing degradations are flagged by name by
+// coastpure — the analyzer that superseded this fixture's original
+// hotpathalloc+memocontract approximation — and still independently by the
+// general-purpose pair.
 func TestLazyClockFixture(t *testing.T) {
-	runFixture(t, "lazyclock", []*Analyzer{HotPathAlloc, MemoContract}, DefaultConfig())
+	runFixture(t, "lazyclock", []*Analyzer{HotPathAlloc, MemoContract, CoastPure}, DefaultConfig())
+}
+
+func TestBufferDisciplineFixture(t *testing.T) {
+	runFixture(t, "bufferdiscipline", []*Analyzer{BufferDiscipline}, DefaultConfig())
+}
+
+func TestLaneContractFixture(t *testing.T) {
+	runFixture(t, "lanecontract", []*Analyzer{LaneContract}, DefaultConfig())
+}
+
+func TestCoastPureFixture(t *testing.T) {
+	runFixture(t, "coastpure", []*Analyzer{CoastPure}, DefaultConfig())
 }
 
 func TestDeterminismFixture(t *testing.T) {

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LaneContract enforces the struct-of-arrays residency contract from PR 9
+// (runtime.Lane[T] / verify.Lanes; see internal/runtime/DESIGN.md): while a
+// state is resident in a lane-bound engine the lane rows are the
+// authoritative storage of the flattened fields, and every struct-resident
+// copy of such a field is either a declared, boundary-refreshed working
+// copy or a bug. Per package:
+//
+//  1. Registration: every lane column (a *runtime.Lane[T] field of a "lane
+//     set" struct) must be allocated through runtime.NewLane in this
+//     package — NewLane is what registers BOTH buffers with the engine's
+//     swap; a column built any other way (or not at all) has rows that
+//     never double-buffer.
+//  2. Shadows: a struct field whose name matches a lane column
+//     (case-insensitively) is a struct-resident shadow of lane-backed
+//     state. It must carry //ssmst:lane, declaring it a sanctioned working
+//     copy refreshed at the residency boundaries (vhot, the transit
+//     registers, HotState snapshots); an unannotated shadow is the PR 9
+//     hazard — code reading it mid-round reads stale values. Conversely an
+//     //ssmst:lane field must actually name a column, and every column
+//     must have at least one declared working copy (the spill/store paths
+//     need somewhere to put it).
+//  3. Full-width movers: a method annotated //ssmst:lane on a lane-set
+//     receiver (SpillRow/StoreRow/LoadRow/CopyRow/ZeroRow) must touch
+//     every column, directly or through same-package helpers — a column
+//     added to the set but missed in a row mover desyncs struct and row
+//     images exactly the way the PR 9 parity suite exists to catch.
+//     Partial-by-design paths (ClearRow's memo-gate subset, RemapRow,
+//     MeasureRow) simply stay unannotated.
+var LaneContract = &Analyzer{
+	Name: "lanecontract",
+	Doc:  "lane-backed fields move through their LaneBinding: columns register both buffers, shadows are declared, row movers cover every column",
+	Run:  runLaneContract,
+}
+
+// laneSet is one struct type carrying lane columns.
+type laneSet struct {
+	name    string
+	decl    *ast.StructType
+	columns []laneColumn
+}
+
+type laneColumn struct {
+	name  string
+	field *ast.Field
+	obj   *types.Var
+}
+
+func runLaneContract(pass *Pass) error {
+	sets := pass.collectLaneSets()
+	if len(sets) == 0 {
+		// No lane columns declared here: nothing to hold this package to.
+		// (Packages composing a foreign lane set — selfstab wrapping
+		// verify.Lanes — are covered where the columns are declared.)
+		return nil
+	}
+	pass.checkLaneRegistration(sets)
+	pass.checkLaneShadows(sets)
+	pass.checkRowMovers(sets)
+	return nil
+}
+
+// collectLaneSets finds every struct declared in the package with at least
+// one *runtime.Lane[T] field.
+func (p *Pass) collectLaneSets() []*laneSet {
+	var sets []*laneSet
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				set := &laneSet{name: ts.Name.Name, decl: st}
+				for _, f := range st.Fields.List {
+					if !isLaneType(p.typeOf(f.Type)) {
+						continue
+					}
+					for _, name := range f.Names {
+						if v, ok := p.TypesInfo.Defs[name].(*types.Var); ok {
+							set.columns = append(set.columns, laneColumn{name: name.Name, field: f, obj: v})
+						}
+					}
+				}
+				if len(set.columns) > 0 {
+					sets = append(sets, set)
+				}
+			}
+		}
+	}
+	return sets
+}
+
+// checkLaneRegistration enforces rule 1: every column is assigned a NewLane
+// result somewhere in the package (composite literal key or field assign).
+func (p *Pass) checkLaneRegistration(sets []*laneSet) {
+	registered := map[*types.Var]bool{}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok && isNewLaneCall(p, n.Value) {
+					if v, ok := p.objOf(id).(*types.Var); ok {
+						registered[v] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) || !isNewLaneCall(p, n.Rhs[i]) {
+						continue
+					}
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						if selection, ok := p.TypesInfo.Selections[sel]; ok {
+							if v, ok := selection.Obj().(*types.Var); ok {
+								registered[v] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, set := range sets {
+		for _, col := range set.columns {
+			if !registered[col.obj] {
+				p.Reportf(col.field.Pos(), "lane column %s.%s is never registered through runtime.NewLane: its rows are not double-buffered and the engine's swap will not see them", set.name, col.name)
+			}
+		}
+	}
+}
+
+// isNewLaneCall reports whether e is a call to runtime.NewLane.
+func isNewLaneCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fo := p.calleeOf(call)
+	return fo != nil && fo.Name() == "NewLane" && fo.Pkg() != nil && runtimePkgPath(fo.Pkg().Path())
+}
+
+// checkLaneShadows enforces rule 2 over every struct of the package.
+func (p *Pass) checkLaneShadows(sets []*laneSet) {
+	columns := map[string]string{} // lowercased column name -> "Set.col"
+	for _, set := range sets {
+		for _, col := range set.columns {
+			columns[strings.ToLower(col.name)] = set.name + "." + col.name
+		}
+	}
+	covered := map[string]bool{} // lowercased column names with >=1 declared shadow
+	isSetDecl := map[*ast.StructType]bool{}
+	for _, set := range sets {
+		isSetDecl[set.decl] = true
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || isSetDecl[st] {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					key := strings.ToLower(name.Name)
+					col, isShadow := columns[key]
+					switch {
+					case FieldAnnotated(f, AnnLane) && !isShadow:
+						p.Reportf(name.Pos(), "//ssmst:lane field %s names no lane column of this package: the working-copy declaration is stale", name.Name)
+					case FieldAnnotated(f, AnnLane):
+						covered[key] = true
+					case isShadow:
+						p.Reportf(name.Pos(), "field %s is a struct-resident shadow of lane column %s: while lane-resident the row is authoritative — annotate //ssmst:lane if this is a boundary-refreshed working copy, or rename it", name.Name, col)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, set := range sets {
+		var missing []string
+		for _, col := range set.columns {
+			if !covered[strings.ToLower(col.name)] {
+				missing = append(missing, col.name)
+			}
+		}
+		sort.Strings(missing)
+		for _, name := range missing {
+			p.Reportf(set.decl.Pos(), "lane column %s.%s has no //ssmst:lane working copy: the spill/store boundary has no struct field to mirror it through", set.name, name)
+		}
+	}
+}
+
+// checkRowMovers enforces rule 3 on //ssmst:lane-annotated methods.
+func (p *Pass) checkRowMovers(sets []*laneSet) {
+	funcDecls := p.funcIndex()
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !FuncAnnotated(fn, AnnLane) {
+				continue
+			}
+			set := p.receiverLaneSet(fn, sets)
+			if set == nil {
+				p.Reportf(fn.Pos(), "//ssmst:lane on %s, whose receiver declares no lane columns: the full-width contract applies to lane-set methods", fn.Name.Name)
+				continue
+			}
+			read := map[*types.Var]bool{}
+			for _, body := range p.expandBodies(fn, funcDecls) {
+				for v := range p.fieldsRead(body) {
+					read[v] = true
+				}
+			}
+			for _, col := range set.columns {
+				if !read[col.obj] {
+					p.Reportf(fn.Pos(), "row mover %s does not touch lane column %s: a partial move desyncs the struct image from the rows (unannotate it if the path is partial by design)", fn.Name.Name, col.name)
+				}
+			}
+		}
+	}
+}
+
+// receiverLaneSet matches a method's receiver against the declared lane
+// sets by type name.
+func (p *Pass) receiverLaneSet(fn *ast.FuncDecl, sets []*laneSet) *laneSet {
+	rt := p.recvType(fn)
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return nil
+	}
+	for _, set := range sets {
+		if set.name == named.Obj().Name() {
+			return set
+		}
+	}
+	return nil
+}

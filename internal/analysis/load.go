@@ -32,6 +32,11 @@ type Package struct {
 type Loader struct {
 	ModuleRoot string
 	ModulePath string
+	// Tags lists extra build tags that hold for this load (e.g. "race" for
+	// the race_on variant of the instrumentation gate). Set before the first
+	// Load call; GOOS/GOARCH always hold. Each variant needs its own Loader —
+	// checked packages are cached under the tags they were loaded with.
+	Tags []string
 
 	fset *token.FileSet
 	std  types.Importer
@@ -133,7 +138,7 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !buildConstraintOK(f) {
+		if !l.buildConstraintOK(f) {
 			continue
 		}
 		files = append(files, f)
@@ -163,11 +168,11 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 }
 
 // buildConstraintOK reports whether a file belongs to the build the
-// analyzers audit: the default, non-instrumented one. Only the target
-// platform's tags hold; every other tag — "race" above all, which gates the
-// raceflag variants — evaluates false, exactly as `go build` with no extra
-// tags would decide.
-func buildConstraintOK(f *ast.File) bool {
+// analyzers audit. The target platform's tags hold, plus whatever l.Tags
+// lists ("race" selects the race_on variant of the instrumentation gate);
+// every other tag evaluates false, exactly as `go build` with those tags
+// would decide.
+func (l *Loader) buildConstraintOK(f *ast.File) bool {
 	for _, cg := range f.Comments {
 		if cg.Pos() > f.Package {
 			break
@@ -181,7 +186,15 @@ func buildConstraintOK(f *ast.File) bool {
 				return true // malformed constraints are the compiler's problem
 			}
 			return expr.Eval(func(tag string) bool {
-				return tag == runtime.GOOS || tag == runtime.GOARCH
+				if tag == runtime.GOOS || tag == runtime.GOARCH {
+					return true
+				}
+				for _, t := range l.Tags {
+					if tag == t {
+						return true
+					}
+				}
+				return false
 			})
 		}
 	}

@@ -57,18 +57,21 @@ func TestAnnotationsAreLoadBearing(t *testing.T) {
 		t.Skip("loads the whole module through the source importer")
 	}
 	pkgs := loadRepo(t)
-	hot, tracked := 0, 0
+	total := map[string]int{}
 	for _, pkg := range pkgs {
-		for _, p := range []*Package{pkg} {
-			counts := countAnnotations(p)
-			hot += counts[AnnHotpath]
-			tracked += counts[AnnTracked]
+		for ann, n := range countAnnotations(pkg) {
+			total[ann] += n
 		}
 	}
-	if hot == 0 {
-		t.Error("no //ssmst:hotpath annotations in the tree: hotpathalloc is checking nothing")
-	}
-	if tracked == 0 {
-		t.Error("no //ssmst:tracked annotations in the tree: memocontract's write rule is checking nothing")
+	for ann, what := range map[string]string{
+		AnnHotpath:   "hotpathalloc and bufferdiscipline are checking nothing",
+		AnnTracked:   "memocontract's write rule is checking nothing",
+		AnnOwnWrite:  "bufferdiscipline's call-site rule is checking nothing",
+		AnnLane:      "lanecontract's shadow and row-mover rules are checking nothing",
+		AnnCoastPure: "coastpure has no replay roots to hold pure",
+	} {
+		if total[ann] == 0 {
+			t.Errorf("no //ssmst:%s annotations in the tree: %s", ann, what)
+		}
 	}
 }

@@ -1,0 +1,3 @@
+module bd
+
+go 1.21

@@ -1,0 +1,27 @@
+// Package runtime mimics the engine package shape: the flow layer
+// recognizes Lane by name and package-path suffix, like the determinism
+// fixture's View.
+package runtime
+
+// Lanes is the double-buffered lane block.
+type Lanes struct{ data any }
+
+// SetData installs machine data.
+func (l *Lanes) SetData(d any) { l.data = d }
+
+// Data returns the installed machine data.
+func (l *Lanes) Data() any { return l.data }
+
+// Lane is one typed column with a read and a write buffer.
+type Lane[T any] struct{ buf [2][]T }
+
+// NewLane allocates and registers a column's two buffers.
+func NewLane[T any](ls *Lanes) *Lane[T] { return &Lane[T]{} }
+
+// Row returns the selected buffer.
+func (l *Lane[T]) Row(write bool) []T {
+	if write {
+		return l.buf[1]
+	}
+	return l.buf[0]
+}

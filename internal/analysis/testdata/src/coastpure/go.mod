@@ -1,0 +1,3 @@
+module cp
+
+go 1.21

@@ -1,0 +1,24 @@
+// Package alarmcode re-seeds the PR 2 accounting bug: VState.BitSize
+// silently omitting AlarmCode, under-reporting the Theorem 8.5 memory
+// bound until a hand audit caught it.
+package alarmcode
+
+// AlarmCode records which layer raised the current alarm.
+type AlarmCode uint8
+
+// BitSize is the code's label width.
+func (c AlarmCode) BitSize() int { return 2 }
+
+func flag(b bool) int { return 1 }
+
+// VState is the verifier state as PR 2 shipped it.
+type VState struct {
+	AskValid  bool
+	AlarmFlag bool
+	AlarmCode AlarmCode
+}
+
+// BitSize omits AlarmCode — the seeded bug.
+func (s *VState) BitSize() int {
+	return flag(s.AskValid) + flag(s.AlarmFlag)
+}

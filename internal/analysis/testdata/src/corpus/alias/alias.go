@@ -1,0 +1,26 @@
+// Package alias re-seeds the cross-node write-slot alias: a hot step
+// writing a lane row at a NeighbourNode-derived index lands in another
+// node's write slot and corrupts its concurrently-produced round.
+package alias
+
+import "corpus/runtime"
+
+// View mimics the engine's per-(node, round) window by method shape.
+type View struct {
+	node  int
+	peers []int
+}
+
+// Node returns this node's own row index.
+func (v *View) Node() int { return v.node }
+
+// NeighbourNode returns the row index of the neighbour behind a port.
+func (v *View) NeighbourNode(q int) int { return v.peers[q] }
+
+// Step clears the parent's coast flag instead of its own — the alias.
+//
+//ssmst:hotpath
+func Step(v *View, coasting *runtime.Lane[bool]) {
+	nb := v.NeighbourNode(0)
+	coasting.Row(true)[nb] = false
+}

@@ -1,0 +1,22 @@
+// Package journal re-seeds the journaling coast-advance: replay
+// materializes a per-tick trace of the skipped rounds — state the dense
+// reference never had, produced by the O(k) iteration the closed form
+// exists to replace.
+package journal
+
+// State is a coasting node's clock.
+type State struct {
+	Timer int
+}
+
+// Advance replays k rounds by iterating and journaling them.
+//
+//ssmst:coastpure
+func Advance(s *State, budget, k int) []int {
+	trace := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		s.Timer = (s.Timer + 1) % (budget + 1)
+		trace = append(trace, s.Timer)
+	}
+	return trace
+}

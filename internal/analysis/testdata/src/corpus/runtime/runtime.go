@@ -1,0 +1,21 @@
+// Package runtime mimics the engine package shape for the seeded-bug
+// corpus: the flow layer recognizes Lane and NewLane by name and
+// package-path suffix.
+package runtime
+
+// Lanes is the double-buffered lane block.
+type Lanes struct{ n int }
+
+// Lane is one typed column with a read and a write buffer.
+type Lane[T any] struct{ buf [2][]T }
+
+// NewLane allocates and registers a column's two buffers.
+func NewLane[T any](ls *Lanes) *Lane[T] { return &Lane[T]{} }
+
+// Row returns the selected buffer.
+func (l *Lane[T]) Row(write bool) []T {
+	if write {
+		return l.buf[1]
+	}
+	return l.buf[0]
+}

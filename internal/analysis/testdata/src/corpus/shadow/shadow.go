@@ -1,0 +1,22 @@
+// Package shadow re-seeds the struct-resident shadow: an undeclared copy
+// of a lane column that code keeps reading mid-round, when the lane row is
+// the authoritative storage and the copy is stale.
+package shadow
+
+import "corpus/runtime"
+
+// Set is the lane set.
+type Set struct {
+	coasting *runtime.Lane[bool]
+}
+
+// New registers the column.
+func New(ls *runtime.Lanes) *Set {
+	return &Set{coasting: runtime.NewLane[bool](ls)}
+}
+
+// Node caches the coast flag without declaring the working copy.
+type Node struct {
+	Coasting bool
+	Round    int
+}

@@ -1,0 +1,3 @@
+module lc
+
+go 1.21

@@ -1,0 +1,80 @@
+// Package lanes is the fixture for the struct-of-arrays residency
+// contract: lane columns register both buffers through runtime.NewLane,
+// struct-resident copies of lane-backed state are declared working copies,
+// and full-width row movers touch every column.
+package lanes
+
+import "lc/runtime"
+
+// Set is the lane set: coasting and timer are registered in New; orphan is
+// the registration gap.
+type Set struct {
+	ls       *runtime.Lanes
+	coasting *runtime.Lane[bool]
+	timer    *runtime.Lane[int]
+	orphan   *runtime.Lane[int] // want lanecontract:"never registered through runtime.NewLane"
+}
+
+// New allocates the registered columns.
+func New(ls *runtime.Lanes) *Set {
+	return &Set{
+		ls:       ls,
+		coasting: runtime.NewLane[bool](ls),
+		timer:    runtime.NewLane[int](ls),
+	}
+}
+
+// Hot is the declared struct image: every column has its boundary-refreshed
+// working copy here.
+type Hot struct {
+	Coasting bool //ssmst:lane
+	Timer    int  //ssmst:lane
+	Orphan   int  //ssmst:lane
+}
+
+// Cache holds an UNDECLARED copy of the timer column: code reading it
+// mid-round reads stale values — the PR 9 hazard.
+type Cache struct {
+	Timer int // want lanecontract:"struct-resident shadow of lane column Set.timer"
+	Round int
+}
+
+// Bad declares a working copy of a column that does not exist.
+type Bad struct {
+	//ssmst:lane
+	Window int // want lanecontract:"names no lane column"
+}
+
+// SpillRow is a full-width mover that misses the orphan column — the
+// desync a column added to the set but skipped in a row mover causes.
+//
+//ssmst:lane
+func (s *Set) SpillRow(i int, h *Hot) { // want lanecontract:"row mover SpillRow does not touch lane column orphan"
+	h.Coasting = s.coasting.Row(false)[i]
+	h.Timer = s.timer.Row(false)[i]
+}
+
+// LoadRow covers every column through a same-package helper chain: clean.
+//
+//ssmst:lane
+func (s *Set) LoadRow(i int, h *Hot) {
+	s.loadGates(i, h)
+	s.orphan.Row(false)[i] = h.Orphan
+}
+
+func (s *Set) loadGates(i int, h *Hot) {
+	s.coasting.Row(false)[i] = h.Coasting
+	s.timer.Row(false)[i] = h.Timer
+}
+
+// clearTimer is partial by design and correctly unannotated: clean.
+func (s *Set) clearTimer(i int) {
+	s.timer.Row(false)[i] = 0
+}
+
+// Reset carries the annotation without a lane-set receiver.
+//
+//ssmst:lane
+func Reset(h *Hot) { // want lanecontract:"receiver declares no lane columns"
+	*h = Hot{}
+}

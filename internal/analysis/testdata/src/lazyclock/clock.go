@@ -1,11 +1,15 @@
 // Package lazyclock is the fixture for the worklist engine's lazy-clock
 // write pattern (internal/verify coastAdvance, internal/train
-// IdleTimerAdvance): a closed-form k-round advance is a hot path that may
-// only rewrite untracked scalar clock fields in place — no allocation, and
-// no tracked-field writes outside the invalidation protocol. The clean
-// function is the sanctioned shape; the flagged variants are the two ways
-// the pattern degrades (journaling the skipped rounds into a fresh slice,
-// and "repairing" a tracked label from inside the advance).
+// IdleTimerAdvance): a closed-form k-round advance is a coast replay that
+// may only rewrite untracked scalar clock fields in place — no allocation,
+// no per-tick iteration, and no tracked-field writes outside the
+// invalidation protocol. The clean function is the sanctioned shape; the
+// flagged variants are the ways the pattern degrades (journaling the
+// skipped rounds into a fresh slice, iterating the ticks, and "repairing"
+// a tracked label from inside the advance). PR 10's coastpure analyzer
+// states the contract directly and flags every degradation by name; the
+// hotpathalloc+memocontract pair that originally approximated it still
+// fires where its rules overlap.
 package lazyclock
 
 // State is a coasting node: tracked labels with a derived memo, plus the
@@ -34,6 +38,7 @@ func (s *State) Clone() *State {
 // existing memory.
 //
 //ssmst:hotpath
+//ssmst:coastpure
 func advance(s *State, k int) {
 	m := s.Budget + 1
 	if m < 1 {
@@ -48,12 +53,14 @@ func advance(s *State, k int) {
 }
 
 // advanceJournaled degrades the pattern by materializing the skipped
-// rounds — the allocation the closed form exists to avoid.
+// rounds — the allocation the closed form exists to avoid — and by
+// iterating the ticks it should replay in O(1).
 //
 //ssmst:hotpath
+//ssmst:coastpure
 func advanceJournaled(s *State, k int) []int {
-	trace := make([]int, 0, k) // want "make in hot path"
-	for i := 0; i < k; i++ {
+	trace := make([]int, 0, k) // want hotpathalloc:"make in hot path" coastpure:"make in coast replay"
+	for i := 0; i < k; i++ {   // want coastpure:"per-tick loop in coast replay"
 		advance(s, 1)
 		trace = append(trace, s.Timer)
 	}
@@ -63,9 +70,11 @@ func advanceJournaled(s *State, k int) []int {
 // advanceRepairing degrades it the other way: a clock advance must never
 // touch tracked state — a label write belongs to the full step, paired
 // with invalidation.
+//
+//ssmst:coastpure
 func advanceRepairing(s *State, k int) {
 	advance(s, k)
-	s.Label = s.Timer // want "write to tracked field Label"
+	s.Label = s.Timer // want memocontract:"write to tracked field Label" coastpure:"writes tracked field Label"
 }
 
 // resetPaired owns a tracked write the legal way, so the fixture proves

@@ -157,6 +157,8 @@ func (Machine) Quiescent(_ *runtime.Lanes, _ int, st runtime.State) bool {
 
 // CoastAdvance implements runtime.CoastStepper: a Finished state carries no
 // clockwork, so replaying k skipped rounds is the identity.
+//
+//ssmst:coastpure
 func (Machine) CoastAdvance(_ *runtime.Lanes, _ int, st runtime.State, deg, k int) {}
 
 // NewState produces the clean simultaneous-wake-up state: the node is the

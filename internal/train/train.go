@@ -257,6 +257,7 @@ func StepInto(dst *State, old *State, c *Ctx) {
 // have the closed form IdleTimerAdvance(t, budget, k) exactly.
 //
 //ssmst:hotpath
+//ssmst:coastpure
 func IdleTimerTick(timer, budget int) int {
 	return IdleTimerAdvance(timer, budget, 1)
 }
@@ -271,6 +272,7 @@ func IdleTimerTick(timer, budget int) int {
 // lazily.
 //
 //ssmst:hotpath
+//ssmst:coastpure
 func IdleTimerAdvance(timer, budget, k int) int {
 	m := budget + 1
 	if m < 1 {

@@ -78,6 +78,7 @@ func (m *Machine) Quiescent(ls *runtime.Lanes, i int, st runtime.State) bool {
 // mutation.
 //
 //ssmst:hotpath
+//ssmst:coastpure
 func (m *Machine) CoastAdvance(ls *runtime.Lanes, node int, st runtime.State, deg, k int) {
 	s, ok := st.(*VState)
 	if !ok {
@@ -96,6 +97,7 @@ func (m *Machine) CoastAdvance(ls *runtime.Lanes, node int, st runtime.State, de
 // mirror of what the dense engine executes for a coasting node.
 //
 //ssmst:hotpath
+//ssmst:coastpure
 func (m *Machine) coastTick(s *VState) {
 	coastTrainTick(&s.TopS, &s.L.Train.Top, s.MyID)
 	coastTrainTick(&s.BotS, &s.L.Train.Bottom, s.MyID)
@@ -127,6 +129,7 @@ func (m *Machine) coastTick(s *VState) {
 // with modular arithmetic instead of iterated.
 //
 //ssmst:hotpath
+//ssmst:coastpure
 func (m *Machine) coastAdvance(s *VState, k int) {
 	if k <= 0 {
 		return
@@ -189,6 +192,7 @@ func (m *Machine) coastAdvance(s *VState, k int) {
 // frozen at their rest fixed point.
 //
 //ssmst:hotpath
+//ssmst:coastpure
 func coastTrainTick(st *train.State, l *train.Labels, own graph.NodeID) {
 	if l.K == 0 || l.PartRootID != own {
 		return
@@ -199,6 +203,7 @@ func coastTrainTick(st *train.State, l *train.Labels, own graph.NodeID) {
 // coastTrainAdvance is the k-round closed form of coastTrainTick.
 //
 //ssmst:hotpath
+//ssmst:coastpure
 func coastTrainAdvance(st *train.State, l *train.Labels, own graph.NodeID, k int) {
 	if l.K == 0 || l.PartRootID != own {
 		return

@@ -88,6 +88,8 @@ func LanesOf(ls *runtime.Lanes) *Lanes {
 // reflect current lane values.
 //
 //ssmst:hotpath
+//ssmst:ownwrite
+//ssmst:lane
 func (vl *Lanes) SpillRow(i int, s *VState) {
 	h := s.ensureHot()
 	h.staticValid = vl.staticValid.Row(false)[i]
@@ -110,6 +112,8 @@ func (vl *Lanes) SpillRow(i int, s *VState) {
 // buffer — in-place coast replay). A nil hot block stores as memo-empty.
 //
 //ssmst:hotpath
+//ssmst:ownwrite
+//ssmst:lane
 func (vl *Lanes) StoreRow(i int, s *VState, write bool) {
 	var h vhot
 	if s.hot != nil {
@@ -136,6 +140,9 @@ func (vl *Lanes) StoreRow(i int, s *VState, write bool) {
 // so the memo rows land cleared; the transit registers carry the injected
 // values. Both buffers are written because the spare buffer's row survives
 // into the next round as the write-side image the elision guard reads.
+//
+//ssmst:ownwrite
+//ssmst:lane
 func (vl *Lanes) LoadRow(i int, s *VState) {
 	vl.StoreRow(i, s, false)
 	vl.StoreRow(i, s, true)
@@ -147,6 +154,8 @@ func (vl *Lanes) LoadRow(i int, s *VState) {
 // rows are the same storage and the carry is a no-op.
 //
 //ssmst:hotpath
+//ssmst:ownwrite
+//ssmst:lane
 func (vl *Lanes) CopyRow(i int) {
 	vl.staticValid.Row(true)[i] = vl.staticValid.Row(false)[i]
 	vl.staticAlarm.Row(true)[i] = vl.staticAlarm.Row(false)[i]
@@ -170,7 +179,10 @@ func (vl *Lanes) CopyRow(i int) {
 // transit rows (CandPort, AlarmFlag, AlarmCode) are protocol state, left in
 // place. Matching InvalidateMemo field-for-field keeps struct and lane
 // residency bit-identical under full-state comparison, not just in
-// protocol-visible observables.
+// protocol-visible observables. Partial by design (the memo-gate subset),
+// so no //ssmst:lane full-width contract.
+//
+//ssmst:ownwrite
 func (vl *Lanes) ClearRow(i int) {
 	for _, w := range [2]bool{false, true} {
 		vl.staticValid.Row(w)[i] = false
@@ -186,6 +198,9 @@ func (vl *Lanes) ClearRow(i int) {
 // content and transit registers alike — for composite machines whose node
 // currently carries no verifier state at all (selfstab outside the check
 // phase).
+//
+//ssmst:ownwrite
+//ssmst:lane
 func (vl *Lanes) ZeroRow(i int) {
 	for _, w := range [2]bool{false, true} {
 		vl.staticValid.Row(w)[i] = false
@@ -207,6 +222,8 @@ func (vl *Lanes) ZeroRow(i int) {
 // RemapRow applies a port compaction to node i's candidate-port rows (both
 // buffers) and clears the memo rows — the lane mirror of VState.RemapPorts
 // (which remaps the struct image and calls InvalidateMemo).
+//
+//ssmst:ownwrite
 func (vl *Lanes) RemapRow(i int, oldToNew []int) {
 	for _, w := range [2]bool{false, true} {
 		r := vl.candPort.Row(w)
@@ -224,6 +241,7 @@ func (vl *Lanes) RemapRow(i int, oldToNew []int) {
 // registers.
 //
 //ssmst:hotpath
+//ssmst:ownwrite
 func (vl *Lanes) MeasureRow(i int, s *VState, write bool) int {
 	if vl.coasting.Row(write)[i] {
 		if cb := int(vl.coastBits.Row(write)[i]); cb > 0 {

@@ -50,11 +50,13 @@ type VState struct {
 	// function of (labels, level), so it is evaluated once per dwell window
 	// instead of once per round; like every sampler register it stabilizes
 	// within one Ask sweep after arbitrary corruption.
-	CandPort int
+	CandPort int //ssmst:lane -- transit register: lane column candPort is authoritative while resident
 
-	AlarmFlag bool // recomputed every round: the verifier's "no" output
+	AlarmFlag bool //ssmst:lane -- recomputed every round: the verifier's "no" output
 	// AlarmCode records which layer raised the current alarm (AlarmNone when
 	// quiet); exposed for experiments and diagnostics.
+	//
+	//ssmst:lane
 	AlarmCode AlarmCode
 
 	// hot is the struct image of the flattened hot fields — the static
@@ -110,16 +112,16 @@ type VState struct {
 //     coastBits is the memoized orbit-maximum BitSize reported while
 //     coasting.
 type vhot struct {
-	staticValid  bool
-	staticAlarm  bool
-	staticCode   AlarmCode
-	staticWindow int
-	staticEpoch  int64
-	labelBits    int
-	labelBitsOK  bool
-	coasting     bool
-	coastEpoch   int64
-	coastBits    int
+	staticValid  bool      //ssmst:lane
+	staticAlarm  bool      //ssmst:lane
+	staticCode   AlarmCode //ssmst:lane
+	staticWindow int       //ssmst:lane
+	staticEpoch  int64     //ssmst:lane
+	labelBits    int       //ssmst:lane
+	labelBitsOK  bool      //ssmst:lane
+	coasting     bool      //ssmst:lane
+	coastEpoch   int64     //ssmst:lane
+	coastBits    int       //ssmst:lane
 }
 
 // ensureHot returns s's hot block, materializing an empty one on first use.
@@ -128,7 +130,7 @@ type vhot struct {
 //ssmst:hotpath
 func (s *VState) ensureHot() *vhot {
 	if s.hot == nil {
-		s.hot = new(vhot) //ssmst:allow hotpathalloc -- at most once per state lifetime; recycled with the state
+		s.hot = new(vhot) //ssmst:allow hotpathalloc,coastpure -- at most once per state lifetime; recycled with the state
 	}
 	return s.hot
 }
@@ -137,19 +139,19 @@ func (s *VState) ensureHot() *vhot {
 // three transit registers — the external (test/experiment) window onto state
 // that PR 9 moved out of VState's exported fields.
 type HotState struct {
-	StaticValid  bool
-	StaticAlarm  bool
-	StaticCode   AlarmCode
-	StaticWindow int
-	StaticEpoch  int64
-	LabelBits    int
-	LabelBitsOK  bool
-	Coasting     bool
-	CoastEpoch   int64
-	CoastBits    int
-	CandPort     int
-	AlarmFlag    bool
-	AlarmCode    AlarmCode
+	StaticValid  bool      //ssmst:lane
+	StaticAlarm  bool      //ssmst:lane
+	StaticCode   AlarmCode //ssmst:lane
+	StaticWindow int       //ssmst:lane
+	StaticEpoch  int64     //ssmst:lane
+	LabelBits    int       //ssmst:lane
+	LabelBitsOK  bool      //ssmst:lane
+	Coasting     bool      //ssmst:lane
+	CoastEpoch   int64     //ssmst:lane
+	CoastBits    int       //ssmst:lane
+	CandPort     int       //ssmst:lane
+	AlarmFlag    bool      //ssmst:lane
+	AlarmCode    AlarmCode //ssmst:lane
 }
 
 // Hot snapshots s's hot block (zero if never materialized) and transit
